@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper artifact (two speedup tables, Figs. 5–10) is regenerated from
+two cached scaling sweeps at the paper's workload configuration; each bench
+asserts the qualitative shape the paper reports and writes its rendered
+artifact under ``benchmarks/artifacts/`` (the inputs to EXPERIMENTS.md).
+
+``--repro-batches`` / ``--repro-scale`` control fidelity: the defaults
+(10 batches, full 16384 batch size) run the whole suite in well under a
+minute; ``--repro-batches=100 --repro-scale=1.0`` is the paper's exact
+protocol.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-batches", type=int, default=10,
+        help="batches accumulated per measurement (paper: 100)",
+    )
+    parser.addoption(
+        "--repro-scale", type=float, default=1.0,
+        help="batch-size scale factor (1.0 = paper's 16384)",
+    )
+
+
+@pytest.fixture(scope="session")
+def runner(request) -> ExperimentRunner:
+    """One cached runner shared by every bench in the session."""
+    return ExperimentRunner(
+        n_batches=request.config.getoption("--repro-batches"),
+        scale=request.config.getoption("--repro-scale"),
+        device_counts=(1, 2, 3, 4),
+    )
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+def save_artifact(artifact_dir: pathlib.Path, name: str, text: str) -> None:
+    """Write one rendered artifact (and echo it for -s runs)."""
+    (artifact_dir / name).write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,56 @@
+"""Ablation — batch-size sweep: the latency-limited regime (§III-A3).
+
+The paper's challenge list notes that "with small batch sizes, the
+overhead of CUDA kernel synchronization can become significant compared to
+communication and computation, as the forward pass is essentially
+latency-limited".  This bench sweeps the batch size on the 2-GPU weak
+configuration and checks:
+
+1. the PGAS advantage grows as batches shrink (fixed control-path costs
+   dominate the baseline);
+2. at large batches the advantage settles at the bandwidth-regime ~2x.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.bench.reporting import format_table
+from repro.core.retrieval import DistributedEmbedding
+from repro.dlrm.data import SyntheticDataGenerator, WEAK_SCALING_BASE
+
+BATCH_SIZES = (256, 1024, 4096, 16384)
+
+
+def sweep():
+    rows = []
+    for B in BATCH_SIZES:
+        cfg = WEAK_SCALING_BASE.scaled_tables(128).with_batch_size(B)
+        lengths = SyntheticDataGenerator(cfg).lengths_batch()
+        t_base = DistributedEmbedding(cfg, 2, backend="baseline").forward_timed(lengths)
+        t_pgas = DistributedEmbedding(cfg, 2, backend="pgas").forward_timed(lengths)
+        rows.append((B, t_base.total_ns, t_pgas.total_ns))
+    return rows
+
+
+def test_batch_size_ablation(benchmark, runner, artifact_dir):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = format_table(
+        ["batch", "baseline (ms)", "PGAS (ms)", "speedup"],
+        [
+            [str(b), f"{tb / 1e6:.3f}", f"{tp / 1e6:.3f}", f"{tb / tp:.2f}x"]
+            for b, tb, tp in rows
+        ],
+    )
+    save_artifact(artifact_dir, "A3_batch_size.txt", "[ablation: batch size]\n" + table)
+
+    speedups = {b: tb / tp for b, tb, tp in rows}
+    # PGAS wins at every batch size.
+    assert all(s > 1.0 for s in speedups.values())
+    # Runtime grows with batch size for both backends.
+    times_base = [tb for _, tb, _ in rows]
+    times_pgas = [tp for _, _, tp in rows]
+    assert times_base == sorted(times_base)
+    assert times_pgas == sorted(times_pgas)
+    # Large-batch speedup settles in the paper's ~2x bandwidth regime.
+    assert 1.5 < speedups[16384] < 2.5

@@ -1,0 +1,56 @@
+"""Ablation — pooling-factor sweep: compute/communication balance.
+
+The EMB kernel's compute scales with the pooling factor (lookups per bag)
+while its output — the communication volume — does not.  The paper's weak
+test (pooling <= 128) is compute-rich, its strong test (pooling <= 32)
+comm-rich; that ratio is why the strong-scaling speedups are larger.  This
+bench sweeps the cap and checks the mechanism directly: the PGAS advantage
+falls as pooling grows, because an ever-larger kernel hides the same
+communication either way, while the baseline amortises its comm phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import save_artifact
+from repro.bench.reporting import format_table
+from repro.bench.runner import scaled_config
+from repro.core.retrieval import DistributedEmbedding
+from repro.dlrm.data import SyntheticDataGenerator, WEAK_SCALING_BASE
+
+POOLING_CAPS = (8, 32, 128)
+
+
+def sweep(runner_scale: float):
+    rows = []
+    for cap in POOLING_CAPS:
+        cfg = dataclasses.replace(
+            scaled_config(WEAK_SCALING_BASE.scaled_tables(128), runner_scale),
+            max_pooling=cap,
+        )
+        lengths = SyntheticDataGenerator(cfg).lengths_batch()
+        t_base = DistributedEmbedding(cfg, 2, backend="baseline").forward_timed(lengths)
+        t_pgas = DistributedEmbedding(cfg, 2, backend="pgas").forward_timed(lengths)
+        rows.append((cap, t_base.total_ns, t_pgas.total_ns))
+    return rows
+
+
+def test_pooling_ablation(benchmark, runner, artifact_dir):
+    rows = benchmark.pedantic(sweep, args=(runner.scale,), rounds=1, iterations=1)
+
+    table = format_table(
+        ["max pooling", "baseline (ms)", "PGAS (ms)", "speedup"],
+        [
+            [str(c), f"{tb / 1e6:.2f}", f"{tp / 1e6:.2f}", f"{tb / tp:.2f}x"]
+            for c, tb, tp in rows
+        ],
+    )
+    save_artifact(artifact_dir, "A4_pooling.txt", "[ablation: pooling factor]\n" + table)
+
+    speedups = {c: tb / tp for c, tb, tp in rows}
+    # Comm-heavy (small pooling) shows the biggest PGAS advantage —
+    # the weak-vs-strong asymmetry of the paper's two tables.
+    assert speedups[8] > speedups[32] > speedups[128]
+    assert speedups[8] > 2.0
+    assert speedups[128] > 1.3

@@ -1,0 +1,51 @@
+"""Extension — the §V backward pass, baseline vs PGAS atomics.
+
+The paper predicts the backward pass benefits even more than the forward:
+gradient traffic is at least as large, the baseline needs a pack step plus
+collective rounds, and the heavier gradient computation leaves a larger
+window to hide communication.  This bench runs both backward schemes on
+the weak 2- and 4-GPU configurations and checks the predicted ordering.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.bench.reporting import format_table
+from repro.bench.runner import scaled_config
+from repro.core.backward import BaselineBackward, PGASFusedBackward
+from repro.core.sharding import TableWiseSharding
+from repro.core.workload import build_device_workloads
+from repro.dlrm.data import SyntheticDataGenerator, WEAK_SCALING_BASE
+from repro.simgpu import dgx_v100
+
+
+def sweep(runner_scale: float):
+    rows = []
+    for G in (2, 4):
+        cfg = scaled_config(WEAK_SCALING_BASE.scaled_tables(64 * G), runner_scale)
+        plan = TableWiseSharding(cfg.table_configs(), G)
+        lengths = SyntheticDataGenerator(cfg).lengths_batch()
+        wls = build_device_workloads(plan, lengths)
+        t_base = BaselineBackward(dgx_v100(G)).run_batch(wls)
+        t_pgas = PGASFusedBackward(dgx_v100(G)).run_batch(wls)
+        rows.append((G, t_base.total_ns, t_pgas.total_ns))
+    return rows
+
+
+def test_backward_extension(benchmark, runner, artifact_dir):
+    rows = benchmark.pedantic(sweep, args=(runner.scale,), rounds=1, iterations=1)
+
+    table = format_table(
+        ["GPUs", "baseline bwd (ms)", "PGAS bwd (ms)", "speedup"],
+        [
+            [str(g), f"{tb / 1e6:.2f}", f"{tp / 1e6:.2f}", f"{tb / tp:.2f}x"]
+            for g, tb, tp in rows
+        ],
+    )
+    save_artifact(artifact_dir, "E1_backward.txt", "[extension: backward pass]\n" + table)
+
+    for g, tb, tp in rows:
+        speedup = tb / tp
+        # The §V prediction: a significant improvement, comparable to or
+        # exceeding the forward pass's.
+        assert speedup > 1.8, f"backward speedup at {g} GPUs only {speedup:.2f}x"

@@ -1,0 +1,59 @@
+"""Extension — full training step: the EMB communication paid twice.
+
+Training is the paper's lead motivation (>50% of Meta's training cycles);
+a step pays the EMB layout conversion forward *and* the gradient exchange
+backward.  This bench times complete steps (forward pipeline + overlapped
+dense/EMB backward) under both communication schemes at the weak 2- and
+4-GPU configurations.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.bench.reporting import format_table
+from repro.bench.runner import scaled_config
+from repro.core.pipeline import PipelineConfig
+from repro.core.train_pipeline import DLRMTrainingPipeline
+from repro.dlrm.data import SyntheticDataGenerator, WEAK_SCALING_BASE
+
+
+def sweep(runner_scale: float):
+    rows = []
+    for G in (2, 4):
+        workload = scaled_config(WEAK_SCALING_BASE.scaled_tables(64 * G), runner_scale)
+        cfg = PipelineConfig(workload=workload)
+        lengths = SyntheticDataGenerator(workload).lengths_batch()
+        t_base = DLRMTrainingPipeline(cfg, G, backend="baseline").run_step(lengths)
+        t_pgas = DLRMTrainingPipeline(cfg, G, backend="pgas").run_step(lengths)
+        rows.append((G, t_base, t_pgas))
+    return rows
+
+
+def test_training_step_extension(benchmark, runner, artifact_dir):
+    rows = benchmark.pedantic(sweep, args=(runner.scale,), rounds=1, iterations=1)
+
+    table = format_table(
+        ["GPUs", "baseline step (ms)", "PGAS step (ms)", "speedup",
+         "baseline fwd/bwd (ms)", "PGAS fwd/bwd (ms)"],
+        [
+            [
+                str(G),
+                f"{tb.total_ns / 1e6:.2f}",
+                f"{tp.total_ns / 1e6:.2f}",
+                f"{tb.total_ns / tp.total_ns:.2f}x",
+                f"{tb.forward.total_ns / 1e6:.1f}/{(tb.total_ns - tb.forward.total_ns) / 1e6:.1f}",
+                f"{tp.forward.total_ns / 1e6:.1f}/{(tp.total_ns - tp.forward.total_ns) / 1e6:.1f}",
+            ]
+            for G, tb, tp in rows
+        ],
+    )
+    save_artifact(artifact_dir, "E7_training_step.txt",
+                  "[extension: full training step]\n" + table)
+
+    for G, tb, tp in rows:
+        speedup = tb.total_ns / tp.total_ns
+        assert speedup > 1.4, f"training-step speedup at {G} GPUs only {speedup:.2f}x"
+        # Both directions contribute: the backward phase alone also wins.
+        bwd_base = tb.total_ns - tb.forward.total_ns
+        bwd_pgas = tp.total_ns - tp.forward.total_ns
+        assert bwd_pgas < bwd_base

@@ -1,0 +1,45 @@
+"""Fig. 10 — communication volume over time, 4 GPUs, strong config (§IV-B2).
+
+Same instrument as Fig. 7, at 4 GPUs with the strong-scaling workload:
+"the communication volume is well-distributed over the computation time
+and largely overlaps with computation on 4 GPUs", versus the baseline's
+flat-then-ramp curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import save_artifact
+from repro.bench.reporting import render_comm_volume
+
+
+def test_fig10_comm_volume_4gpu(benchmark, runner, artifact_dir):
+    traces = benchmark.pedantic(runner.fig10, rounds=1, iterations=1)
+    save_artifact(
+        artifact_dir, "F10_comm_volume_strong_4gpu.txt", render_comm_volume(traces)
+    )
+
+    pgas = next(t for t in traces if t.backend == "pgas")
+    base = next(t for t in traces if t.backend == "baseline")
+    assert pgas.n_devices == base.n_devices == 4
+
+    assert pgas.total_units == pytest.approx(base.total_units, rel=1e-6)
+
+    # Baseline: compute-silent prefix, then the collective ramp.
+    assert base.flat_prefix_fraction() > 0.3
+    assert pgas.flat_prefix_fraction() < 0.2
+
+    # PGAS spread vs baseline burst: compare the 10%->90% ramp width.
+    def ramp_width(trace):
+        t, v = trace.normalized()
+        t10 = t[np.searchsorted(v, 0.1)]
+        t90 = t[np.searchsorted(v, 0.9)]
+        return t90 - t10
+
+    assert ramp_width(pgas) > 0.5  # spread over most of the kernel
+    assert ramp_width(base) < 0.5 * ramp_width(pgas)  # concentrated burst
+
+    # PGAS finishes the whole pass much faster.
+    assert base.total_ns / pgas.total_ns > 1.7

@@ -1,0 +1,33 @@
+"""Fig. 5 — weak scaling factor curves (§IV-A1).
+
+Factor = t(1 GPU) / t(G GPUs); ideal is a flat line at 1.0.  Paper shape:
+the baseline drops to ~0.46 at 2 GPUs (the bulk-sync comm phase appears)
+and then stays flat; PGAS stays near ideal because the communication hides
+under the kernel.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.bench.reporting import render_scaling_figure
+
+
+def test_fig5_weak_scaling_factors(benchmark, runner, artifact_dir):
+    result = benchmark.pedantic(runner.fig5, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "F5_weak_scaling.txt", render_scaling_figure(result))
+
+    base = {g: result.scaling_factor("baseline", g) for g in (1, 2, 3, 4)}
+    pgas = {g: result.scaling_factor("pgas", g) for g in (1, 2, 3, 4)}
+
+    assert base[1] == pgas[1] == 1.0
+    # The baseline cliff at 2 GPUs (paper: 0.46).
+    assert 0.35 < base[2] < 0.65
+    # ... then flat: 3- and 4-GPU factors within 10% of the 2-GPU one.
+    assert abs(base[3] - base[2]) < 0.1 * base[2]
+    assert abs(base[4] - base[2]) < 0.1 * base[2]
+    # PGAS stays near ideal at every count.
+    for g in (2, 3, 4):
+        assert pgas[g] > 0.85, f"PGAS weak factor at {g} GPUs: {pgas[g]:.3f}"
+        assert pgas[g] > base[g]
+    # PGAS factor declines slowly (small-message overhead grows, §IV-A2d).
+    assert pgas[2] >= pgas[3] >= pgas[4]

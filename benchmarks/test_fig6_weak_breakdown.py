@@ -1,0 +1,47 @@
+"""Fig. 6 — weak-scaling runtime breakdown (§IV-A2).
+
+Paper expectations, asserted below:
+- baseline computation time stays the same (constant per-GPU workload);
+- baseline communication time decreases with more GPUs (more links);
+- baseline sync+unpack time increases (more received data to rearrange);
+- the comm decrease and sync+unpack increase roughly cancel, so baseline
+  total stays flat beyond 2 GPUs;
+- PGAS total is only slightly more than baseline computation alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_artifact
+from repro.bench.reporting import render_breakdown
+
+
+def test_fig6_weak_breakdown(benchmark, runner, artifact_dir):
+    bd = benchmark.pedantic(runner.fig6, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "F6_weak_breakdown.txt", render_breakdown(bd))
+
+    bars = {b.n_devices: b for b in bd.bars}
+
+    # Computation flat across GPU counts.
+    c1 = bars[1].baseline_compute_ns
+    for g in (2, 3, 4):
+        assert bars[g].baseline_compute_ns == pytest.approx(c1, rel=0.05)
+
+    # Communication decreases with more GPUs.
+    assert bars[2].baseline_comm_ns > bars[3].baseline_comm_ns > bars[4].baseline_comm_ns
+
+    # Sync+unpack increases with more GPUs.
+    assert bars[2].baseline_sync_unpack_ns < bars[3].baseline_sync_unpack_ns
+    assert bars[3].baseline_sync_unpack_ns < bars[4].baseline_sync_unpack_ns
+
+    # The two effects roughly cancel: totals flat beyond 2 GPUs.
+    t2 = bars[2].baseline_total_ns
+    for g in (3, 4):
+        assert bars[g].baseline_total_ns == pytest.approx(t2, rel=0.1)
+
+    # PGAS total ~= baseline compute + small overhead (the key comparison).
+    for g in (2, 3, 4):
+        b = bars[g]
+        assert b.pgas_total_ns < 1.2 * b.baseline_compute_ns
+        assert b.pgas_total_ns > b.baseline_compute_ns  # not free either

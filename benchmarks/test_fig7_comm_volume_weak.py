@@ -1,0 +1,44 @@
+"""Fig. 7 — communication volume over time, 2 GPUs, weak config (§IV-A2b).
+
+The paper's instrument: a counter atomically bumped by every RDMA write,
+polled on a fixed period.  Shape: the PGAS volume is "well-distributed over
+the computation time", while the baseline "has a long initial period when
+communication volume stays flat at 0" followed by the collective's ramp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import save_artifact
+from repro.bench.reporting import render_comm_volume
+
+
+def test_fig7_comm_volume_2gpu(benchmark, runner, artifact_dir):
+    traces = benchmark.pedantic(runner.fig7, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "F7_comm_volume_weak_2gpu.txt", render_comm_volume(traces))
+
+    pgas = next(t for t in traces if t.backend == "pgas")
+    base = next(t for t in traces if t.backend == "baseline")
+
+    # Identical payload moved either way (same inputs, same split).
+    assert pgas.total_units == pytest.approx(base.total_units, rel=1e-6)
+
+    # Baseline: flat-at-zero through (at least) a third of the run.
+    assert base.flat_prefix_fraction() > 0.33
+    # PGAS: traffic starts with the first retired wave.
+    assert pgas.flat_prefix_fraction() < 0.15
+
+    # PGAS volume is spread: mid-run cumulative near half the total.
+    t, v = pgas.normalized()
+    mid = v[np.searchsorted(t, 0.5)]
+    assert 0.3 < mid < 0.7
+
+    # Baseline is back-loaded: almost nothing by mid-run.
+    t, v = base.normalized()
+    mid = v[np.searchsorted(t, 0.5)]
+    assert mid < 0.15
+
+    # And the PGAS run itself is about 2x shorter.
+    assert base.total_ns / pgas.total_ns > 1.5

@@ -1,0 +1,35 @@
+"""Fig. 8 — strong scaling factor curves (§IV-B1).
+
+Factor = t(1 GPU) / t(G GPUs); ideal is the line y = G.  Paper shape:
+"Neither PGAS nor baseline achieve good strong scaling: baseline with
+{2,3,4} GPUs were all slower than baseline on single GPU.  PGAS has
+slightly better strong scaling, with {2,3,4} GPUs all faster than a single
+GPU ... the strong scaling for PGAS decreases beyond 2 GPUs" (~1.6x at 2).
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.bench.reporting import render_scaling_figure
+
+
+def test_fig8_strong_scaling_factors(benchmark, runner, artifact_dir):
+    result = benchmark.pedantic(runner.fig8, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "F8_strong_scaling.txt", render_scaling_figure(result))
+
+    base = {g: result.scaling_factor("baseline", g) for g in (1, 2, 3, 4)}
+    pgas = {g: result.scaling_factor("pgas", g) for g in (1, 2, 3, 4)}
+
+    # Baseline: every multi-GPU run SLOWER than its own single GPU.
+    for g in (2, 3, 4):
+        assert base[g] < 1.0, f"baseline strong factor at {g} GPUs: {base[g]:.2f}"
+
+    # PGAS: every multi-GPU run faster than its own single GPU...
+    for g in (2, 3, 4):
+        assert pgas[g] > 1.0, f"PGAS strong factor at {g} GPUs: {pgas[g]:.2f}"
+        assert pgas[g] > base[g]
+
+    # ... with ~1.6x at 2 GPUs (paper) and far from the ideal line G.
+    assert 1.3 < pgas[2] < 2.0
+    for g in (2, 3, 4):
+        assert pgas[g] < g  # latency-limited kernel: nobody reaches ideal

@@ -1,0 +1,50 @@
+"""Fig. 9 — strong-scaling runtime breakdown (§IV-B2).
+
+Paper expectations asserted below:
+- baseline computation decreases from 1 to 2 GPUs, then stays roughly the
+  same (the kernel becomes latency-limited — ncu: <60% of both
+  throughputs);
+- baseline communication time decreases with more GPUs;
+- PGAS total ~= baseline computation alone (communication fully hidden).
+
+Known divergence (recorded in EXPERIMENTS.md): the paper reports the
+sync+unpack component *increasing* with GPU count; under table-wise
+sharding the per-device received bytes shrink as B/G x (T - T/G), so our
+per-device rearrangement model has it decreasing.  We assert our model's
+self-consistent behaviour here and flag the difference rather than tune
+it away.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_artifact
+from repro.bench.reporting import render_breakdown
+
+
+def test_fig9_strong_breakdown(benchmark, runner, artifact_dir):
+    bd = benchmark.pedantic(runner.fig9, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "F9_strong_breakdown.txt", render_breakdown(bd))
+
+    bars = {b.n_devices: b for b in bd.bars}
+
+    # Computation drops 1 -> 2 GPUs ...
+    assert bars[2].baseline_compute_ns < 0.75 * bars[1].baseline_compute_ns
+    # ... then flattens (latency-limited): within 10% across 2-4 GPUs.
+    c2 = bars[2].baseline_compute_ns
+    for g in (3, 4):
+        assert bars[g].baseline_compute_ns == pytest.approx(c2, rel=0.1)
+
+    # Communication decreases with more GPUs.
+    assert bars[2].baseline_comm_ns > bars[3].baseline_comm_ns > bars[4].baseline_comm_ns
+
+    # Baseline multi-GPU total exceeds its single-GPU total (the slowdown).
+    for g in (2, 3, 4):
+        assert bars[g].baseline_total_ns > bars[1].baseline_total_ns
+
+    # PGAS total ~= baseline compute component (+ small exposed overhead).
+    for g in (2, 3, 4):
+        b = bars[g]
+        assert b.pgas_total_ns < 1.25 * b.baseline_compute_ns
+        assert b.pgas_total_ns < 0.55 * b.baseline_total_ns

@@ -1,0 +1,34 @@
+"""Motivation — the §I capacity wall, measured.
+
+"The memory capacity requirements of DLRMs grew 16-fold between 2017 and
+2021" (§II-A); once tables outgrow one GPU, model parallelism forces the
+layout-conversion communication this paper attacks.  This bench projects a
+2×-per-generation table budget across four generations, plans the minimal
+V100 count per generation, and measures both backends: the PGAS advantage
+appears exactly when the model crosses the single-GPU wall and persists
+as it keeps growing.
+"""
+
+from __future__ import annotations
+
+from conftest import save_artifact
+from repro.bench.capacity import run_capacity_study
+
+
+def test_capacity_motivation(benchmark, runner, artifact_dir):
+    study = benchmark.pedantic(
+        lambda: run_capacity_study(base_tables=32, steps=4, growth_per_step=2.0),
+        rounds=1, iterations=1,
+    )
+    save_artifact(artifact_dir, "M1_capacity.txt", study.render())
+
+    gpus = [p.min_gpus for p in study.points]
+    # Growth forces multi-GPU within the projection (the paper's premise).
+    assert gpus[0] == 1
+    assert gpus[-1] >= 2
+    assert gpus == sorted(gpus)
+    # Once distributed, PGAS wins, and keeps winning as scale grows.
+    distributed = [p for p in study.points if p.min_gpus > 1]
+    assert distributed
+    for p in distributed:
+        assert p.speedup > 1.4

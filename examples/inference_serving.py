@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Online inference serving: latency under load, baseline vs PGAS.
+
+Recommendation inference is served online — requests stream in, a batcher
+groups them, and tail latency is the SLO (the paper cites DeepRecSys for
+this setting).  This example drives one simulated model replica with a
+Poisson request stream at increasing load and prints the p50/p99 latency
+and sustained throughput for both EMB backends: hiding the embedding
+communication buys headroom before the queue blows up.
+
+Run:  python examples/inference_serving.py
+"""
+
+from __future__ import annotations
+
+from repro.core import InferenceServer, ServingSpec
+from repro.core.pipeline import DLRMInferencePipeline, PipelineConfig
+from repro.dlrm import WorkloadConfig
+from repro.simgpu.units import ms
+
+
+def main() -> None:
+    workload = WorkloadConfig(
+        num_tables=32, rows_per_table=50_000, dim=64,
+        batch_size=512, max_pooling=16, seed=2,
+    )
+    n_requests = 3000
+    print(f"serving DLRM inference on 2 simulated GPUs "
+          f"({workload.num_tables} tables, d={workload.dim}); "
+          f"{n_requests} requests per point, max batch 512, 2 ms window\n")
+    header = (f"{'offered qps':>12} {'backend':>9} {'p50 (ms)':>9} "
+              f"{'p99 (ms)':>9} {'mean batch':>11} {'served qps':>11}")
+    print(header)
+    for qps in (50_000, 200_000, 400_000):
+        for backend in ("baseline", "pgas"):
+            pipe = DLRMInferencePipeline(
+                PipelineConfig(workload=workload), 2, backend=backend
+            )
+            server = InferenceServer(
+                pipe,
+                ServingSpec(arrival_qps=qps, max_batch=512,
+                            batch_window_ns=2 * ms, seed=3),
+            )
+            res = server.simulate(n_requests)
+            print(f"{qps:>12,} {backend:>9} {res.p50_ms:>9.2f} "
+                  f"{res.p99_ms:>9.2f} {res.mean_batch_size:>11.0f} "
+                  f"{res.throughput_qps:>11,.0f}")
+    print("\nAt low load both backends idle between batches; as offered load"
+          "\napproaches the replica's capacity, the baseline's exposed EMB"
+          "\ncommunication turns into queueing delay first — the PGAS replica"
+          "\nsustains more traffic at lower tail latency.")
+
+
+if __name__ == "__main__":
+    main()

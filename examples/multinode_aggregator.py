@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multi-node scenario: small messages vs the §V asynchronous aggregator.
+
+The paper's single-node results ride on NVLink, where 256-byte one-sided
+writes are nearly free to issue.  Its future-work section predicts that on
+inter-node NICs the same messages lose to per-message injection costs and
+proposes buffering them through an aggregator ("replacing the operation
+sum.store(outputs[output_idx], pe) with aggregator.store(...)").
+
+This example runs the weak-scaling workload on three fabrics — NVLink,
+PCIe, and a 2-node NIC system — with plain small messages and with the
+aggregator, and prints the crossover.
+
+Run:  python examples/multinode_aggregator.py
+"""
+
+from __future__ import annotations
+
+from repro.comm.pgas import PGASSpec
+from repro.core import AggregatorSpec, PGASFusedRetrieval, TableWiseSharding
+from repro.core.workload import build_device_workloads
+from repro.dlrm import SyntheticDataGenerator, WorkloadConfig
+from repro.simgpu import Cluster, multinode, nvlink_dgx1, pcie_topology
+from repro.simgpu.units import KiB, to_ms
+
+
+def fabric_clusters():
+    yield "NVLink (intra-node)", lambda: Cluster(2, topology=nvlink_dgx1(2))
+    yield "PCIe   (intra-node)", lambda: Cluster(2, topology=pcie_topology(2))
+    yield "NIC    (2 nodes)   ", lambda: multinode(2, devices_per_node=1)
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        num_tables=128, rows_per_table=100_000, dim=64,
+        batch_size=16_384, max_pooling=64, seed=3,
+    )
+    plan = TableWiseSharding(config.table_configs(), 2)
+    lengths = SyntheticDataGenerator(config).lengths_batch()
+    workloads = build_device_workloads(plan, lengths)
+    remote_mb = sum(w.remote_output_bytes for w in workloads) / 1e6
+    print(f"weak-scaling workload on 2 GPUs; {remote_mb:.0f} MB of remote "
+          f"embeddings per batch\n")
+
+    print(f"{'fabric':22s} {'small msgs':>12s} {'aggregated':>12s} {'benefit':>9s}")
+    for name, make_cluster in fabric_clusters():
+        small = PGASFusedRetrieval(
+            make_cluster(), pgas_spec=PGASSpec(message_bytes=256, header_bytes=32)
+        ).run_batch(workloads)
+        agg = PGASFusedRetrieval(
+            make_cluster(),
+            pgas_spec=PGASSpec(message_bytes=256, header_bytes=32),
+            aggregator_spec=AggregatorSpec(flush_bytes=512 * KiB),
+        ).run_batch(workloads)
+        print(f"{name:22s} {to_ms(small.total_ns):9.2f} ms {to_ms(agg.total_ns):9.2f} ms "
+              f"{small.total_ns / agg.total_ns:8.2f}x")
+
+    print("\nOn NVLink the aggregator is pure overhead-neutral plumbing; on the")
+    print("NIC, batching 256-byte writes into 512 KiB flushes recovers the")
+    print("message-rate budget — the crossover the paper's §V predicts.")
+
+
+if __name__ == "__main__":
+    main()

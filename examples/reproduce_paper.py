@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Renders T1/T2 (speedup tables), Figs. 5/8 (scaling factors), Figs. 6/9
+(runtime breakdowns), and Figs. 7/10 (communication volume over time) from
+the calibrated simulator, at the paper's workload configuration.
+
+Run:  python examples/reproduce_paper.py [--batches N] [--scale S]
+
+--batches 100 --scale 1.0 is the paper's exact protocol (~1 min);
+the defaults (10 batches) give the same ratios in a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import EXPERIMENT_IDS, ExperimentRunner
+
+PAPER_NOTES = {
+    "T1": "paper: 2.10x / 1.95x / 1.87x, geomean 1.97x",
+    "F5": "paper: baseline drops to ~0.46 at 2 GPUs then flattens; PGAS near 1.0",
+    "F6": "paper: compute flat, comm shrinks, sync+unpack grows; PGAS ~ compute",
+    "F7": "paper: PGAS volume spread over the kernel; baseline flat then ramp",
+    "T2": "paper: 2.95x / 2.55x / 2.44x, geomean 2.63x",
+    "F8": "paper: baseline < 1.0 everywhere; PGAS ~1.6x at 2 GPUs, declining",
+    "F9": "paper: compute drops then flattens (latency-limited); PGAS ~ compute",
+    "F10": "paper: same shapes as F7, at 4 GPUs / strong config",
+}
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--batches", type=int, default=10,
+                    help="batches per measurement (paper: 100)")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="batch-size scale factor (1.0 = paper's 16384)")
+    ap.add_argument("--only", choices=EXPERIMENT_IDS, default=None,
+                    help="render a single artifact")
+    args = ap.parse_args()
+
+    runner = ExperimentRunner(n_batches=args.batches, scale=args.scale)
+    ids = [args.only] if args.only else list(EXPERIMENT_IDS)
+    for eid in ids:
+        print("=" * 72)
+        print(f"{eid}  ({PAPER_NOTES[eid]})")
+        print("=" * 72)
+        print(runner.render(eid))
+        print()
+
+
+if __name__ == "__main__":
+    main()

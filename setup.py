@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e . --no-use-pep517`` work on
+environments without the ``wheel`` package (offline boxes)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,89 @@
+"""repro — PGAS-style multi-GPU embedding retrieval for DLRM.
+
+Reproduction of Chen, Buluç, Yelick & Owens, *Accelerating Multi-GPU
+Embedding Retrieval with PGAS-Style Communication for Deep Learning
+Recommendation Systems* (SC 2024), as a pure-Python library over a
+discrete-event multi-GPU simulator.
+
+Packages
+--------
+:mod:`repro.core`
+    The paper's contribution: distributed EMB retrieval with baseline
+    (NCCL-style collective) and PGAS fused (one-sided) backends.
+:mod:`repro.simgpu`
+    The substrate: devices, streams, kernel cost model, NVLink fabric,
+    profiler.
+:mod:`repro.comm`
+    Collective and PGAS communication layers.
+:mod:`repro.dlrm`
+    Numpy DLRM: embedding tables, jagged batches, MLPs, interaction,
+    synthetic data.
+:mod:`repro.bench`
+    Experiment harness regenerating every table and figure of §IV.
+
+Quickstart
+----------
+>>> import repro
+>>> cfg = repro.WorkloadConfig(num_tables=8, rows_per_table=1000, dim=16,
+...                            batch_size=64, max_pooling=8)
+>>> emb = repro.DistributedEmbedding(cfg, n_devices=2, backend="pgas",
+...                                  materialize=True)
+>>> batch = repro.SyntheticDataGenerator(cfg).sparse_batch()
+>>> result = emb.forward(batch)
+"""
+
+from . import comm, core, dlrm, simgpu
+from .core import (
+    BackendName,
+    BaselineRetrieval,
+    DistributedEmbedding,
+    ForwardResult,
+    PGASFusedRetrieval,
+    PhaseTiming,
+    RowWiseSharding,
+    ShardedEmbeddingTables,
+    TableWiseSharding,
+)
+from .dlrm import (
+    DLRM,
+    DLRMConfig,
+    EmbeddingBagCollection,
+    EmbeddingTable,
+    EmbeddingTableConfig,
+    JaggedField,
+    SparseBatch,
+    SyntheticDataGenerator,
+    WorkloadConfig,
+)
+from .simgpu import Cluster, DeviceSpec, dgx_v100
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "BackendName",
+    "BaselineRetrieval",
+    "Cluster",
+    "DLRM",
+    "DLRMConfig",
+    "DeviceSpec",
+    "DistributedEmbedding",
+    "EmbeddingBagCollection",
+    "EmbeddingTable",
+    "EmbeddingTableConfig",
+    "ForwardResult",
+    "JaggedField",
+    "PGASFusedRetrieval",
+    "PhaseTiming",
+    "RowWiseSharding",
+    "ShardedEmbeddingTables",
+    "SparseBatch",
+    "SyntheticDataGenerator",
+    "TableWiseSharding",
+    "WorkloadConfig",
+    "__version__",
+    "comm",
+    "core",
+    "dgx_v100",
+    "dlrm",
+    "simgpu",
+]

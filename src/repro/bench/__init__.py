@@ -1,0 +1,74 @@
+"""``repro.bench`` — experiment harness.
+
+Drivers and renderers that regenerate every table and figure of the
+paper's evaluation section (see DESIGN.md §4 for the index).
+"""
+
+from .breakdown import BreakdownBar, BreakdownResult, breakdown_from_scaling
+from .capacity import CapacityPoint, CapacityStudy, run_capacity_study
+from .commvolume import CommVolumeTrace, UNIT_BYTES, trace_comm_volume
+from .reporting import (
+    ascii_series,
+    format_table,
+    render_breakdown,
+    render_comm_volume,
+    render_scaling_figure,
+    render_speedup_table,
+    to_csv,
+)
+from .overlap import OverlapReport, analyze_overlap, measure_overlap
+from .report_md import build_report, md_table
+from .runner import EXPERIMENT_IDS, ExperimentRunner, scaled_config
+from .sweeps import (
+    Sweep,
+    SweepPoint,
+    SweepResult,
+    batch_size_sweep,
+    pooling_sweep,
+    table_count_sweep,
+)
+from .scaling import (
+    ScalingPoint,
+    ScalingResult,
+    geomean,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+
+__all__ = [
+    "BreakdownBar",
+    "CapacityPoint",
+    "CapacityStudy",
+    "run_capacity_study",
+    "BreakdownResult",
+    "CommVolumeTrace",
+    "EXPERIMENT_IDS",
+    "ExperimentRunner",
+    "OverlapReport",
+    "analyze_overlap",
+    "measure_overlap",
+    "ScalingPoint",
+    "Sweep",
+    "SweepPoint",
+    "SweepResult",
+    "batch_size_sweep",
+    "pooling_sweep",
+    "table_count_sweep",
+    "ScalingResult",
+    "UNIT_BYTES",
+    "ascii_series",
+    "breakdown_from_scaling",
+    "build_report",
+    "md_table",
+    "format_table",
+    "geomean",
+    "render_breakdown",
+    "render_comm_volume",
+    "render_scaling_figure",
+    "render_speedup_table",
+    "run_strong_scaling",
+    "run_weak_scaling",
+    "scaled_config",
+    "to_csv",
+    "trace_comm_volume",
+]

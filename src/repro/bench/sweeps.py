@@ -1,0 +1,148 @@
+"""Generic parameter sweeps over the retrieval backends.
+
+A :class:`Sweep` varies one knob of the workload (or system) and measures
+both backends at each point — the machinery behind the ablation benches
+and the CLI's ``sweep`` command.  Points are measured on fresh clusters so
+sweeps are order-independent and deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.baseline import PhaseTiming
+from ..core.retrieval import DistributedEmbedding
+from ..dlrm.data import SyntheticDataGenerator, WorkloadConfig
+from .reporting import format_table
+
+__all__ = ["SweepPoint", "SweepResult", "Sweep", "batch_size_sweep", "pooling_sweep", "table_count_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Both backends at one knob value."""
+
+    value: float
+    baseline: PhaseTiming
+    pgas: PhaseTiming
+
+    @property
+    def speedup(self) -> float:
+        """PGAS over baseline at this point."""
+        return self.baseline.total_ns / self.pgas.total_ns
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep."""
+
+    knob: str
+    n_devices: int
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def values(self) -> List[float]:
+        """Knob values in sweep order."""
+        return [p.value for p in self.points]
+
+    @property
+    def speedups(self) -> List[float]:
+        """PGAS speedups in sweep order."""
+        return [p.speedup for p in self.points]
+
+    def render(self) -> str:
+        """Text table of the sweep."""
+        rows = [
+            [
+                f"{p.value:g}",
+                f"{p.baseline.total_ns / 1e6:.3f}",
+                f"{p.pgas.total_ns / 1e6:.3f}",
+                f"{p.speedup:.2f}x",
+            ]
+            for p in self.points
+        ]
+        return (
+            f"[sweep: {self.knob} @ {self.n_devices} GPUs]\n"
+            + format_table([self.knob, "baseline (ms)", "PGAS (ms)", "speedup"], rows)
+        )
+
+
+class Sweep:
+    """Sweep one workload knob across both backends."""
+
+    def __init__(
+        self,
+        knob: str,
+        mutate: Callable[[WorkloadConfig, float], WorkloadConfig],
+        base_config: WorkloadConfig,
+        n_devices: int = 2,
+        n_batches: int = 1,
+    ):
+        if n_devices <= 0 or n_batches <= 0:
+            raise ValueError("n_devices and n_batches must be positive")
+        self.knob = knob
+        self.mutate = mutate
+        self.base_config = base_config
+        self.n_devices = n_devices
+        self.n_batches = n_batches
+
+    def run(self, values: Sequence[float]) -> SweepResult:
+        """Measure every knob value; returns the collected result."""
+        if not values:
+            raise ValueError("sweep needs at least one value")
+        result = SweepResult(knob=self.knob, n_devices=self.n_devices)
+        for v in values:
+            cfg = self.mutate(self.base_config, v)
+            gen = SyntheticDataGenerator(cfg)
+            batches = [gen.lengths_batch() for _ in range(self.n_batches)]
+            base_t, pgas_t = PhaseTiming(), PhaseTiming()
+            base = DistributedEmbedding(cfg, self.n_devices, backend="baseline")
+            pgas = DistributedEmbedding(cfg, self.n_devices, backend="pgas")
+            for lengths in batches:
+                base_t.add(base.forward_timed(lengths))
+                pgas_t.add(pgas.forward_timed(lengths))
+            result.points.append(SweepPoint(value=float(v), baseline=base_t, pgas=pgas_t))
+        return result
+
+
+def batch_size_sweep(
+    base_config: WorkloadConfig, n_devices: int = 2, n_batches: int = 1
+) -> Sweep:
+    """Sweep the batch size (latency- vs bandwidth-limited regimes)."""
+    return Sweep(
+        "batch_size",
+        lambda cfg, v: cfg.with_batch_size(int(v)),
+        base_config,
+        n_devices,
+        n_batches,
+    )
+
+
+def pooling_sweep(
+    base_config: WorkloadConfig, n_devices: int = 2, n_batches: int = 1
+) -> Sweep:
+    """Sweep the pooling cap (compute/communication balance)."""
+    return Sweep(
+        "max_pooling",
+        lambda cfg, v: dataclasses.replace(cfg, max_pooling=int(v)),
+        base_config,
+        n_devices,
+        n_batches,
+    )
+
+
+def table_count_sweep(
+    base_config: WorkloadConfig, n_devices: int = 2, n_batches: int = 1
+) -> Sweep:
+    """Sweep the table count (model-parallel width)."""
+    return Sweep(
+        "num_tables",
+        lambda cfg, v: cfg.scaled_tables(int(v)),
+        base_config,
+        n_devices,
+        n_batches,
+    )

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reproduce``   regenerate the paper's tables/figures (all or one id)
+``report``      write the paper-vs-measured markdown report to a file
+``run``         time one workload on both backends and print the phases
+``sweep``       sweep a workload knob and print speedups per point
+``plan``        capacity-aware table placement for a Criteo-like table set
+``trace``       run one batch and write a chrome://tracing JSON timeline
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from .bench.runner import EXPERIMENT_IDS, ExperimentRunner
+from .bench.sweeps import batch_size_sweep, pooling_sweep, table_count_sweep
+from .core.planner import plan_table_wise
+from .core.retrieval import DistributedEmbedding
+from .dlrm.data import SyntheticDataGenerator, WEAK_SCALING_BASE, WorkloadConfig
+from .dlrm.heterogeneous import criteo_like
+from .simgpu.device import V100_SPEC
+from .simgpu.trace import summarize_spans, write_chrome_trace
+from .simgpu.units import to_ms
+
+__all__ = ["main", "build_parser"]
+
+
+def _workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tables", type=int, default=64, help="number of embedding tables")
+    p.add_argument("--rows", type=int, default=1_000_000, help="rows per table")
+    p.add_argument("--dim", type=int, default=64, help="embedding dimension")
+    p.add_argument("--batch", type=int, default=16_384, help="batch size")
+    p.add_argument("--pooling", type=int, default=128, help="max pooling factor")
+    p.add_argument("--gpus", type=int, default=2, help="simulated GPU count")
+    p.add_argument("--seed", type=int, default=2024)
+
+
+def _workload_from(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
+        num_tables=args.tables,
+        rows_per_table=args.rows,
+        dim=args.dim,
+        batch_size=args.batch,
+        max_pooling=args.pooling,
+        seed=args.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="PGAS-style multi-GPU embedding retrieval (SC'24 reproduction)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    rp = sub.add_parser("reproduce", help="regenerate the paper's tables and figures")
+    rp.add_argument("--batches", type=int, default=10, help="batches per measurement")
+    rp.add_argument("--scale", type=float, default=1.0, help="batch-size scale factor")
+    rp.add_argument("--only", choices=EXPERIMENT_IDS, default=None)
+
+    rn = sub.add_parser("run", help="time one workload on both backends")
+    _workload_args(rn)
+    rn.add_argument("--batches", type=int, default=1)
+
+    sw = sub.add_parser("sweep", help="sweep one workload knob")
+    _workload_args(sw)
+    sw.add_argument("knob", choices=("batch_size", "max_pooling", "num_tables"))
+    sw.add_argument("values", type=float, nargs="+", help="knob values to sweep")
+
+    pl = sub.add_parser("plan", help="capacity-aware table placement")
+    pl.add_argument("--criteo-tables", type=int, default=26)
+    pl.add_argument("--dim", type=int, default=64)
+    pl.add_argument("--gpus", type=int, default=None,
+                    help="force a device count (default: minimal feasible)")
+    pl.add_argument("--reserve", type=float, default=0.1,
+                    help="HBM fraction reserved for activations")
+    pl.add_argument("--seed", type=int, default=7)
+
+    rm = sub.add_parser("report", help="write the markdown reproduction report")
+    rm.add_argument("--batches", type=int, default=10)
+    rm.add_argument("--scale", type=float, default=1.0)
+    rm.add_argument("--output", default="REPORT.md")
+
+    tr = sub.add_parser("trace", help="write a chrome://tracing timeline of one batch")
+    _workload_args(tr)
+    tr.add_argument("--backend", choices=("pgas", "baseline"), default="pgas")
+    tr.add_argument("--output", default="repro_trace.json")
+
+    return ap
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(n_batches=args.batches, scale=args.scale)
+    ids = [args.only] if args.only else list(EXPERIMENT_IDS)
+    for eid in ids:
+        print(f"== {eid} ==")
+        print(runner.render(eid))
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = _workload_from(args)
+    gen = SyntheticDataGenerator(cfg)
+    batches = [gen.lengths_batch() for _ in range(args.batches)]
+    print(f"workload: {cfg.num_tables} tables x {cfg.rows_per_table} x d{cfg.dim}, "
+          f"batch {cfg.batch_size}, pooling <= {cfg.max_pooling}, {args.gpus} GPUs, "
+          f"{args.batches} batches")
+    from .core.baseline import PhaseTiming
+
+    results = {}
+    for backend in ("baseline", "pgas"):
+        emb = DistributedEmbedding(cfg, args.gpus, backend=backend)  # type: ignore[arg-type]
+        total = PhaseTiming()
+        for lengths in batches:
+            total.add(emb.forward_timed(lengths))
+        results[backend] = total
+        print(f"  {backend:9s} total {to_ms(total.total_ns):9.3f} ms  "
+              f"(compute {to_ms(total.compute_ns):.3f} / comm {to_ms(total.comm_ns):.3f} "
+              f"/ sync+unpack {to_ms(total.sync_unpack_ns):.3f})")
+    speedup = results["baseline"].total_ns / results["pgas"].total_ns
+    print(f"  PGAS speedup: {speedup:.2f}x")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cfg = _workload_from(args)
+    factory = {
+        "batch_size": batch_size_sweep,
+        "max_pooling": pooling_sweep,
+        "num_tables": table_count_sweep,
+    }[args.knob]
+    sweep = factory(cfg, n_devices=args.gpus)
+    print(sweep.run(args.values).render())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    workload = criteo_like(num_tables=args.criteo_tables, dim=args.dim, seed=args.seed)
+    report = plan_table_wise(
+        workload.table_configs(),
+        n_devices=args.gpus,
+        device_spec=V100_SPEC,
+        reserve_fraction=args.reserve,
+    )
+    print(report.summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench.report_md import build_report
+
+    runner = ExperimentRunner(n_batches=args.batches, scale=args.scale)
+    text = build_report(runner)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines, "
+          f"{args.batches} batches at scale {args.scale:g})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cfg = _workload_from(args)
+    emb = DistributedEmbedding(cfg, args.gpus, backend=args.backend)
+    lengths = SyntheticDataGenerator(cfg).lengths_batch()
+    t = emb.forward_timed(lengths)
+    write_chrome_trace(emb.cluster.profiler, args.output)
+    print(f"simulated {to_ms(t.total_ns):.3f} ms ({args.backend}, {args.gpus} GPUs)")
+    print(summarize_spans(emb.cluster.profiler))
+    print(f"trace written to {args.output} (open in chrome://tracing)")
+    return 0
+
+
+_COMMANDS = {
+    "reproduce": _cmd_reproduce,
+    "report": _cmd_report,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "plan": _cmd_plan,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

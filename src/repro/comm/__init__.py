@@ -1,0 +1,18 @@
+"""``repro.comm`` — communication substrates.
+
+:mod:`repro.comm.collective` is the NCCL-like bulk-synchronous layer the
+baseline uses; :mod:`repro.comm.pgas` is the NVSHMEM-like one-sided layer
+the paper's fused retrieval uses.
+"""
+
+from .collective import CollectiveContext, CollectiveSpec, WorkHandle
+from .pgas import PGASContext, PGASSpec, SymmetricHeap
+
+__all__ = [
+    "CollectiveContext",
+    "CollectiveSpec",
+    "PGASContext",
+    "PGASSpec",
+    "SymmetricHeap",
+    "WorkHandle",
+]

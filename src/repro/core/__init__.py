@@ -1,0 +1,129 @@
+"""``repro.core`` — the paper's contribution.
+
+Distributed EMB retrieval with two interchangeable communication backends
+(NCCL-style collective baseline, PGAS fused one-sided), the sharding plans
+beneath them, derived simulator workloads, and the §V extensions (backward
+pass, message aggregator).
+"""
+
+from .aggregator import AggregatorSpec, AsyncAggregator
+from .backward import (
+    BaselineBackward,
+    PGASFusedBackward,
+    baseline_functional_backward,
+    pgas_functional_backward,
+    reference_backward,
+    table_row_gradients,
+)
+from .baseline import BaselineRetrieval, PhaseTiming
+from .calibration import (
+    EMB_MIN_WAVES_FOR_PEAK,
+    EMB_SAMPLES_PER_BLOCK,
+    NCCL_ALLTOALL_EFFICIENCY,
+    REMOTE_WRITE_KERNEL_DRAG,
+    UNPACK_BANDWIDTH,
+)
+from .functional import (
+    SendBlock,
+    ShardedEmbeddingTables,
+    baseline_functional_forward,
+    pgas_functional_forward,
+    reference_forward,
+)
+from .pgas_retrieval import PGASFusedRetrieval
+from .pipeline import DLRMInferencePipeline, PipelineConfig, PipelineTiming
+from .planner import PlacementError, PlacementReport, min_devices_required, plan_table_wise
+from .retrieval import BackendName, DistributedEmbedding, ForwardResult
+from .serving import InferenceServer, ServingResult, ServingSpec
+from .sharding import (
+    RowShard,
+    RowWiseSharding,
+    ShardingPlan,
+    TableWiseSharding,
+    minibatch_bounds,
+    sample_owner,
+)
+from .rowwise import (
+    RowWiseBaselineBackward,
+    RowWiseBaselineRetrieval,
+    RowWisePGASBackward,
+    RowWisePGASRetrieval,
+    RowWiseWorkload,
+    build_rowwise_workloads,
+    rowwise_baseline_functional_forward,
+    rowwise_functional_backward,
+    rowwise_functional_forward_partials,
+    rowwise_pgas_functional_forward,
+)
+from .train_pipeline import DLRMTrainingPipeline, TrainStepTiming
+from .verify import VerificationError, VerificationReport, verify_backend_equivalence
+from .workload import (
+    DeviceWorkload,
+    alltoall_split_bytes,
+    build_device_workloads,
+    lengths_from_batch,
+    unpack_bytes_received,
+)
+
+__all__ = [
+    "AggregatorSpec",
+    "AsyncAggregator",
+    "BackendName",
+    "BaselineBackward",
+    "BaselineRetrieval",
+    "PGASFusedBackward",
+    "baseline_functional_backward",
+    "pgas_functional_backward",
+    "reference_backward",
+    "table_row_gradients",
+    "DeviceWorkload",
+    "DistributedEmbedding",
+    "EMB_MIN_WAVES_FOR_PEAK",
+    "EMB_SAMPLES_PER_BLOCK",
+    "ForwardResult",
+    "NCCL_ALLTOALL_EFFICIENCY",
+    "DLRMInferencePipeline",
+    "PGASFusedRetrieval",
+    "PhaseTiming",
+    "PipelineConfig",
+    "PipelineTiming",
+    "PlacementError",
+    "PlacementReport",
+    "RowWiseBaselineBackward",
+    "RowWiseBaselineRetrieval",
+    "RowWisePGASBackward",
+    "RowWisePGASRetrieval",
+    "RowWiseWorkload",
+    "build_rowwise_workloads",
+    "min_devices_required",
+    "plan_table_wise",
+    "rowwise_baseline_functional_forward",
+    "rowwise_functional_backward",
+    "rowwise_functional_forward_partials",
+    "rowwise_pgas_functional_forward",
+    "REMOTE_WRITE_KERNEL_DRAG",
+    "RowShard",
+    "RowWiseSharding",
+    "InferenceServer",
+    "SendBlock",
+    "ServingResult",
+    "ServingSpec",
+    "ShardedEmbeddingTables",
+    "ShardingPlan",
+    "TableWiseSharding",
+    "DLRMTrainingPipeline",
+    "TrainStepTiming",
+    "UNPACK_BANDWIDTH",
+    "VerificationError",
+    "VerificationReport",
+    "verify_backend_equivalence",
+    "alltoall_split_bytes",
+    "baseline_functional_forward",
+    "build_device_workloads",
+    "lengths_from_batch",
+    "minibatch_bounds",
+    "pgas_functional_forward",
+    "reference_forward",
+    "sample_owner",
+    "unpack_bytes_received",
+]

@@ -1,0 +1,187 @@
+"""The PGAS fused retrieval (timed path) — the paper's contribution.
+
+One fused CUDA kernel per device (Listing 2): as each wave of thread
+blocks retires, the pooled embedding vectors belonging to *remote*
+mini-batches are written straight to the owning GPU's output tensor as
+one-sided small messages; local vectors are stored in place.  After its
+kernel finishes, each device issues a ``quiet`` (drain outstanding puts)
+and all devices rendezvous — the ``cudaStreamSynchronize`` loop at the end
+of ``PGAS_EMB_forward``.
+
+There is no separate communication phase and no unpack: the only exposed
+communication cost is whatever message drain outlives the computation,
+plus the fixed quiet/rendezvous overhead.  The in-kernel cost of issuing
+remote writes is modelled by stretching the kernel body by
+``REMOTE_WRITE_KERNEL_DRAG`` × (remote wire time) — see calibration notes.
+
+Phase accounting: the whole pass is a single ``fused`` span; the
+:class:`~repro.core.baseline.PhaseTiming` fields report it as ``compute``
+(overlapped) with the exposed tail in ``sync_unpack`` (quiet + barrier),
+so breakdown plots can show PGAS as one bar, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .aggregator import AggregatorSpec
+
+from ..comm.pgas import PGASContext, PGASSpec
+from ..simgpu.cluster import Cluster
+from ..simgpu.engine import Event, ProcessGenerator
+from ..simgpu.interconnect import wire_bytes
+from ..simgpu.kernel import WaveInfo, execute_kernel
+from .baseline import PhaseTiming
+from .calibration import REMOTE_WRITE_KERNEL_DRAG
+from .workload import DeviceWorkload
+
+__all__ = ["PGASFusedRetrieval"]
+
+
+class PGASFusedRetrieval:
+    """Timed EMB forward using fused one-sided communication.
+
+    With ``aggregator_spec`` set, remote writes route through the §V
+    :class:`~repro.core.aggregator.AsyncAggregator` instead of leaving as
+    individual small messages — the multi-node variant
+    (``aggregator.store(outputs[output_idx], sum, pe)``).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        pgas_spec: Optional[PGASSpec] = None,
+        remote_write_drag: float = REMOTE_WRITE_KERNEL_DRAG,
+        aggregator_spec: Optional["AggregatorSpec"] = None,
+    ):
+        if remote_write_drag < 0:
+            raise ValueError("remote_write_drag must be non-negative")
+        self.cluster = cluster
+        self.pgas = PGASContext(cluster, pgas_spec)
+        self.remote_write_drag = remote_write_drag
+        self.aggregator = None
+        if aggregator_spec is not None:
+            from .aggregator import AsyncAggregator
+
+            self.aggregator = AsyncAggregator(self.pgas, aggregator_spec)
+
+    # -- single batch ---------------------------------------------------------------
+
+    def run_batch(self, workloads: Sequence[DeviceWorkload]) -> PhaseTiming:
+        """Simulate one fused EMB forward; returns its phase timing."""
+        self._check(workloads)
+        timing = PhaseTiming(batches=1)
+        self.cluster.run(lambda cl: self.batch_process(cl, workloads, timing))
+        return timing
+
+    def run_batches(self, workloads_iter) -> PhaseTiming:
+        """Accumulate over an iterable of per-batch workload lists."""
+        total = PhaseTiming()
+        for workloads in workloads_iter:
+            total.add(self.run_batch(workloads))
+        return total
+
+    # -- internals -------------------------------------------------------------------
+
+    def _check(self, workloads: Sequence[DeviceWorkload]) -> None:
+        if len(workloads) != self.cluster.n_devices:
+            raise ValueError(
+                f"got {len(workloads)} workloads for {self.cluster.n_devices} devices"
+            )
+        for i, wl in enumerate(workloads):
+            if wl.device_id != i:
+                raise ValueError(f"workload {i} has device_id {wl.device_id}")
+
+    def _kernel_drag_ns(self, wl: DeviceWorkload, link_bandwidth: float) -> float:
+        """In-kernel slowdown from issuing this device's remote writes."""
+        if self.remote_write_drag == 0.0 or wl.remote_output_bytes == 0:
+            return 0.0
+        spec = self.pgas.spec
+        wire = wire_bytes(wl.remote_output_bytes, spec.message_bytes, spec.header_bytes)
+        return self.remote_write_drag * wire / link_bandwidth
+
+    def batch_process(
+        self, cluster: Cluster, workloads: Sequence[DeviceWorkload], timing: PhaseTiming
+    ) -> ProcessGenerator:
+        """Process generator for one batch — composable into larger host
+        programs (e.g. the full-pipeline simulation overlaps this with the
+        dense MLP, as in the paper's Fig. 4).  ``timing`` is filled in at
+        completion."""
+        engine = cluster.engine
+        prof = cluster.profiler
+        spec0 = cluster.devices[0].spec
+        G = cluster.n_devices
+        t0 = engine.now
+
+        ops = []
+        for dev, wl in zip(cluster.devices, workloads):
+            waves_dst = wl.wave_dst_bytes(dev.spec.concurrent_blocks)
+            # Link bandwidth toward an arbitrary peer (homogeneous fabric);
+            # used only for the drag model.
+            if G > 1:
+                peer = (dev.id + 1) % G
+                link_bw = cluster.topology.link_spec(dev.id, peer).bandwidth
+                drag = self._kernel_drag_ns(wl, link_bw)
+            else:
+                drag = 0.0
+            base = wl.kernel_spec("pgas_fused_emb")
+            kspec = type(base)(
+                name=base.name,
+                num_blocks=base.num_blocks,
+                bytes_read=base.bytes_read,
+                bytes_written=base.bytes_written,
+                flops=base.flops,
+                block_weights=base.block_weights,
+                stretch_ns=drag,
+                min_waves_for_peak=base.min_waves_for_peak,
+            )
+
+            def on_wave(info: WaveInfo, dev_id: int = dev.id, wdst: np.ndarray = waves_dst) -> None:
+                # Each retiring wave's remote vectors leave immediately as
+                # one-sided small messages (Listing 2's sum.store(..., pe)),
+                # or via the aggregator in the multi-node variant.
+                for dst in range(G):
+                    if dst == dev_id:
+                        continue
+                    payload = float(wdst[info.index, dst])
+                    if payload <= 0:
+                        continue
+                    if self.aggregator is not None:
+                        self.aggregator.store(dev_id, dst, payload)
+                    else:
+                        self.pgas.put(dev_id, dst, payload)
+
+            stream = dev.default_stream
+            stream.submit_delay(dev.spec.kernel_launch_overhead_ns, name="launch")
+            ops.append(
+                stream.submit(
+                    lambda d=dev, k=kspec, cb=on_wave: execute_kernel(d, k, on_wave=cb),
+                    name=kspec.name,
+                )
+            )
+
+        yield engine.all_of([op.done for op in ops])
+
+        # Multi-node variant: push any residual aggregation buffers out
+        # before quiescing (the kernel-end flush of ref [7]).
+        if self.aggregator is not None:
+            self.aggregator.flush_all()
+
+        # Completion: per-PE quiet (drain outstanding puts), then rendezvous.
+        if G > 1:
+            quiets = [
+                engine.process(self.pgas.quiet(dev.id), name=f"quiet{dev.id}")
+                for dev in cluster.devices
+            ]
+            yield engine.all_of(quiets)
+        yield engine.timeout(spec0.sync_overhead_ns)
+        t1 = engine.now
+
+        prof.record_span("pgas_fused", "fused", -1, t0, t1)
+        timing.compute_ns = t1 - t0  # fully fused: one overlapped phase
+        timing.comm_ns = 0.0
+        timing.sync_unpack_ns = 0.0
+        timing.total_ns = t1 - t0

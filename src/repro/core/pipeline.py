@@ -1,0 +1,374 @@
+"""Timed end-to-end DLRM inference pipeline (paper Figs. 1 & 4).
+
+Simulates the full per-batch flow the paper's experiments run around the
+EMB layer:
+
+1. **input staging** — the CPU-partitioned inputs are copied to each GPU
+   over the host link: the dense *mini-batch* plus the *full batch* of the
+   device's local sparse features (paper Fig. 4);
+2. **dense path ∥ EMB path** — the bottom MLP over the dense mini-batch
+   runs *concurrently* with the distributed EMB retrieval ("the top MLP
+   and EMB retrieval run concurrently", Fig. 4), each on its own stream;
+3. **interaction + top MLP** — once both embeddings exist, every device
+   runs the (data-parallel) interaction and prediction kernels on its
+   mini-batch;
+4. device synchronisation.
+
+The EMB step is the pluggable part: either retrieval backend's
+``batch_process`` composes here unchanged, so the pipeline quantifies what
+the paper's EMB-layer speedups mean for whole-model latency (Amdahl).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..comm.collective import CollectiveSpec
+from ..comm.pgas import PGASSpec
+from ..dlrm.data import WorkloadConfig
+from ..dlrm.interaction import interaction_output_dim
+from ..simgpu.cluster import Cluster, dgx_v100
+from ..simgpu.engine import ProcessGenerator
+from ..simgpu.kernel import KernelSpec, execute_kernel
+from ..simgpu.units import gbps
+from .baseline import BaselineRetrieval, PhaseTiming
+from .calibration import INDEX_BYTES, OFFSET_BYTES
+from .pgas_retrieval import PGASFusedRetrieval
+from .retrieval import BackendName
+from .sharding import TableWiseSharding, minibatch_bounds
+from .workload import DeviceWorkload, build_device_workloads
+
+__all__ = ["PipelineConfig", "PipelineTiming", "DLRMInferencePipeline", "H2D_BANDWIDTH"]
+
+#: host-to-device staging bandwidth (PCIe 3.0 x16 effective)
+H2D_BANDWIDTH = gbps(12)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Model shape around the EMB layer."""
+
+    workload: WorkloadConfig
+    bottom_mlp: Sequence[int] = (512, 256)
+    top_mlp: Sequence[int] = (512, 256)
+    interaction: Literal["dot", "cat", "sum"] = "dot"
+
+    def mlp_flops_per_sample(self, sizes: Sequence[int]) -> int:
+        """2 × Σ in×out multiply-adds along a layer stack."""
+        total = 0
+        for a, b in zip(sizes, sizes[1:]):
+            total += 2 * a * b
+        return total
+
+    @property
+    def bottom_sizes(self) -> List[int]:
+        """Bottom MLP layer widths, dense features → embedding dim."""
+        return [self.workload.num_dense_features, *self.bottom_mlp, self.workload.dim]
+
+    @property
+    def top_sizes(self) -> List[int]:
+        """Top MLP layer widths, interaction output → 1 logit."""
+        inter = interaction_output_dim(
+            self.workload.num_tables, self.workload.dim, self.interaction
+        )
+        return [inter, *self.top_mlp, 1]
+
+
+@dataclass
+class PipelineTiming:
+    """Per-stage wall times of one (or many accumulated) pipeline batches.
+
+    ``overlap_saved_ns`` is the time the Fig.-4 concurrency bought:
+    (dense stage + EMB stage) − max-of-the-two, summed over batches.
+    """
+
+    input_copy_ns: float = 0.0
+    dense_mlp_ns: float = 0.0
+    emb: PhaseTiming = field(default_factory=PhaseTiming)
+    interaction_top_ns: float = 0.0
+    overlap_saved_ns: float = 0.0
+    total_ns: float = 0.0
+    batches: int = 0
+
+    def add(self, other: "PipelineTiming") -> None:
+        """Accumulate another batch."""
+        self.input_copy_ns += other.input_copy_ns
+        self.dense_mlp_ns += other.dense_mlp_ns
+        self.emb.add(other.emb)
+        self.interaction_top_ns += other.interaction_top_ns
+        self.overlap_saved_ns += other.overlap_saved_ns
+        self.total_ns += other.total_ns
+        self.batches += other.batches
+
+    @property
+    def emb_fraction(self) -> float:
+        """Share of total pipeline time spent in the EMB stage (Amdahl)."""
+        if self.total_ns <= 0:
+            return 0.0
+        exposed_emb = max(self.emb.total_ns - self.dense_mlp_ns, 0.0)
+        return exposed_emb / self.total_ns
+
+
+class DLRMInferencePipeline:
+    """Full-model timed inference with a pluggable EMB backend."""
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        n_devices: int,
+        *,
+        backend: BackendName = "pgas",
+        cluster: Optional[Cluster] = None,
+        collective_spec: Optional[CollectiveSpec] = None,
+        pgas_spec: Optional[PGASSpec] = None,
+        h2d_bandwidth: float = H2D_BANDWIDTH,
+        overlap_input_staging: bool = False,
+        staging_chunks: int = 8,
+    ):
+        """``overlap_input_staging`` enables the paper's §V input-pipelining
+        proposal: instead of waiting for the whole CPU-partitioned input to
+        land before launching kernels ("merge the sparse input partitioning
+        into the computation kernel, allowing computation to start
+        immediately when the corresponding sparse input is picked out"),
+        the copy is cut into ``staging_chunks`` pieces and the compute
+        paths start after the first chunk, overlapping the rest."""
+        if backend not in ("pgas", "baseline"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if h2d_bandwidth <= 0:
+            raise ValueError("h2d_bandwidth must be positive")
+        if staging_chunks <= 0:
+            raise ValueError("staging_chunks must be positive")
+        self.config = config
+        self.backend: BackendName = backend
+        self.cluster = cluster or dgx_v100(n_devices)
+        if self.cluster.n_devices != n_devices:
+            raise ValueError(
+                f"cluster has {self.cluster.n_devices} devices, asked for {n_devices}"
+            )
+        self.plan = TableWiseSharding(config.workload.table_configs(), n_devices)
+        self.h2d_bandwidth = h2d_bandwidth
+        self.overlap_input_staging = overlap_input_staging
+        self.staging_chunks = staging_chunks
+        self._baseline = BaselineRetrieval(self.cluster, collective_spec)
+        self._pgas = PGASFusedRetrieval(self.cluster, pgas_spec)
+
+    # -- cost helpers -----------------------------------------------------------
+
+    def _input_bytes(self, dev_id: int, workloads: Sequence[DeviceWorkload]) -> float:
+        """Staged bytes: dense mini-batch + local features' full batch."""
+        cfg = self.config.workload
+        G = self.cluster.n_devices
+        lo, hi = minibatch_bounds(cfg.batch_size, G)[dev_id]
+        dense = (hi - lo) * cfg.num_dense_features * 4.0
+        wl = workloads[dev_id]
+        sparse = wl.nnz * INDEX_BYTES + (
+            cfg.batch_size * wl.num_local_tables + 1
+        ) * OFFSET_BYTES
+        return dense + sparse
+
+    def _mlp_kernel(self, name: str, dev_id: int, sizes: Sequence[int]) -> KernelSpec:
+        """Data-parallel MLP launch over this device's mini-batch."""
+        cfg = self.config.workload
+        G = self.cluster.n_devices
+        lo, hi = minibatch_bounds(cfg.batch_size, G)[dev_id]
+        B_g = hi - lo
+        flops = float(B_g) * self.config.mlp_flops_per_sample(sizes)
+        weight_bytes = 4.0 * sum(a * b + b for a, b in zip(sizes, sizes[1:]))
+        act_bytes = 4.0 * B_g * sum(sizes)
+        return KernelSpec(
+            name=f"{name}.dev{dev_id}",
+            num_blocks=max(B_g // 32, 1) * max(len(sizes) - 1, 1),
+            bytes_read=weight_bytes + act_bytes,
+            bytes_written=4.0 * B_g * sizes[-1],
+            flops=flops,
+        )
+
+    def _interaction_kernel(self, dev_id: int) -> KernelSpec:
+        """Interaction: pairwise dots / concat over the mini-batch."""
+        cfg = self.config.workload
+        G = self.cluster.n_devices
+        lo, hi = minibatch_bounds(cfg.batch_size, G)[dev_id]
+        B_g = hi - lo
+        F1 = cfg.num_tables + 1
+        in_bytes = 4.0 * B_g * F1 * cfg.dim
+        out_dim = interaction_output_dim(cfg.num_tables, cfg.dim, self.config.interaction)
+        flops = float(B_g) * (F1 * F1 * cfg.dim if self.config.interaction == "dot" else 0)
+        return KernelSpec(
+            name=f"interaction.dev{dev_id}",
+            num_blocks=max(B_g // 32, 1),
+            bytes_read=in_bytes,
+            bytes_written=4.0 * B_g * out_dim,
+            flops=flops,
+        )
+
+    # -- running ----------------------------------------------------------------
+
+    def run_batch(
+        self, lengths_by_feature: Mapping[str, np.ndarray],
+        backend: Optional[BackendName] = None,
+    ) -> PipelineTiming:
+        """Simulate one full inference batch; returns per-stage timing."""
+        workloads = build_device_workloads(self.plan, lengths_by_feature)
+        timing = PipelineTiming(batches=1)
+        be = backend or self.backend
+        self.cluster.run(lambda cl: self._process(cl, workloads, timing, be))
+        return timing
+
+    def run_batches(self, lengths_iter, backend: Optional[BackendName] = None) -> PipelineTiming:
+        """Accumulate over an iterable of per-batch length maps."""
+        total = PipelineTiming()
+        for lengths in lengths_iter:
+            total.add(self.run_batch(lengths, backend))
+        return total
+
+    def batch_process(
+        self,
+        lengths_by_feature: Mapping[str, np.ndarray],
+        timing: PipelineTiming,
+        backend: Optional[BackendName] = None,
+    ) -> ProcessGenerator:
+        """Process generator for one batch — composable into larger host
+        programs (the serving simulator interleaves these with request
+        arrivals).  ``timing`` is filled at completion."""
+        workloads = build_device_workloads(self.plan, lengths_by_feature)
+        timing.batches = 1
+        return self._process(self.cluster, workloads, timing, backend or self.backend)
+
+    def run_batches_pipelined(
+        self, lengths_iter, backend: Optional[BackendName] = None
+    ) -> PipelineTiming:
+        """Run a stream of batches with inter-batch input prefetch.
+
+        While batch *n* computes, batch *n+1*'s inputs stream to the
+        devices over the (otherwise idle) host link — the double-buffering
+        every production inference loop does.  Returns accumulated stage
+        times; ``total_ns`` is the true pipelined wall time, so it is
+        *less* than the sum of per-batch totals.
+        """
+        be = backend or self.backend
+        all_lengths = list(lengths_iter)
+        if not all_lengths:
+            return PipelineTiming()
+        total = PipelineTiming()
+        engine = self.cluster.engine
+
+        def driver(cluster: Cluster) -> ProcessGenerator:
+            t0 = engine.now
+            workloads = [build_device_workloads(self.plan, l) for l in all_lengths]
+            # Pre-submit every batch's input copies on the h2d streams:
+            # FIFO stream order means batch i+1's copy starts the instant
+            # batch i's finishes — i.e. under batch i's compute.  (This
+            # idealises buffer depth; the staged bytes are accounting-only.)
+            copy_ops_per_batch = []
+            for wls in workloads:
+                ops = []
+                for dev in cluster.devices:
+                    nbytes = self._input_bytes(dev.id, wls)
+                    ops.append(
+                        dev.stream("h2d").submit_delay(
+                            nbytes / self.h2d_bandwidth, name="h2d"
+                        )
+                    )
+                copy_ops_per_batch.append(ops)
+            for i, wls in enumerate(workloads):
+                per_batch = PipelineTiming(batches=1)
+                yield engine.process(
+                    self._process(
+                        cluster, wls, per_batch, be,
+                        copy_ops=copy_ops_per_batch[i],
+                    ),
+                    name=f"pipelined_batch{i}",
+                )
+                total.input_copy_ns += per_batch.input_copy_ns
+                total.dense_mlp_ns += per_batch.dense_mlp_ns
+                total.emb.add(per_batch.emb)
+                total.interaction_top_ns += per_batch.interaction_top_ns
+                total.overlap_saved_ns += per_batch.overlap_saved_ns
+                total.batches += 1
+            total.total_ns = engine.now - t0
+
+        self.cluster.run(driver)
+        return total
+
+    def _process(
+        self,
+        cluster: Cluster,
+        workloads: Sequence[DeviceWorkload],
+        timing: PipelineTiming,
+        backend: BackendName,
+        copy_ops: Optional[list] = None,
+    ) -> ProcessGenerator:
+        engine = cluster.engine
+        t0 = engine.now
+
+        # ---- stage 1: input staging over the host link ------------------------
+        # ``copy_ops`` given: the driver pre-submitted this batch's copies
+        # (inter-batch prefetch); just wait for them.
+        if copy_ops is None:
+            copy_ops = []
+            first_chunk_ops = []
+            K = self.staging_chunks if self.overlap_input_staging else 1
+            for dev in cluster.devices:
+                nbytes = self._input_bytes(dev.id, workloads)
+                stream = dev.stream("h2d")
+                chunk_ns = nbytes / self.h2d_bandwidth / K
+                for c in range(K):
+                    op = stream.submit_delay(chunk_ns, name=f"h2d.{c}")
+                    if c == 0:
+                        first_chunk_ops.append(op)
+                    copy_ops.append(op)
+            if self.overlap_input_staging:
+                # §V pipelining: compute starts once the first input chunk
+                # has landed; the rest streams in under the kernels.
+                yield engine.all_of([op.done for op in first_chunk_ops])
+            else:
+                yield engine.all_of([op.done for op in copy_ops])
+        else:
+            yield engine.all_of([op.done for op in copy_ops])
+        t1 = engine.now
+
+        # ---- stage 2: dense MLP ∥ distributed EMB ------------------------------
+        def dense_path() -> ProcessGenerator:
+            ops = []
+            for dev in cluster.devices:
+                k = self._mlp_kernel("bottom_mlp", dev.id, self.config.bottom_sizes)
+                stream = dev.stream("dense")
+                stream.submit_delay(dev.spec.kernel_launch_overhead_ns, name="launch")
+                ops.append(stream.submit(lambda d=dev, ks=k: execute_kernel(d, ks), name=k.name))
+            yield engine.all_of([op.done for op in ops])
+            return engine.now
+
+        retrieval = self._baseline if backend == "baseline" else self._pgas
+        emb_timing = timing.emb
+        emb_timing.batches = 1
+        dense_proc = engine.process(dense_path(), name="dense_path")
+        emb_proc = engine.process(
+            retrieval.batch_process(cluster, workloads, emb_timing), name="emb_path"
+        )
+        # Compute may overlap the tail of a pipelined copy, but the batch is
+        # not done until every input chunk has landed.
+        yield engine.all_of([dense_proc, emb_proc] + [op.done for op in copy_ops])
+        t2 = engine.now
+        dense_ns = dense_proc.value - t1
+        timing.dense_mlp_ns = dense_ns
+        timing.overlap_saved_ns = dense_ns + emb_timing.total_ns - (t2 - t1)
+
+        # ---- stage 3: interaction + top MLP ------------------------------------
+        ops = []
+        for dev in cluster.devices:
+            stream = dev.default_stream
+            ki = self._interaction_kernel(dev.id)
+            kt = self._mlp_kernel("top_mlp", dev.id, self.config.top_sizes)
+            stream.submit_delay(dev.spec.kernel_launch_overhead_ns, name="launch")
+            ops.append(stream.submit(lambda d=dev, ks=ki: execute_kernel(d, ks), name=ki.name))
+            ops.append(stream.submit(lambda d=dev, ks=kt: execute_kernel(d, ks), name=kt.name))
+        yield engine.all_of([op.done for op in ops])
+        yield engine.timeout(cluster.devices[0].spec.sync_overhead_ns)
+        t3 = engine.now
+
+        timing.input_copy_ns = t1 - t0
+        timing.interaction_top_ns = t3 - t2
+        timing.total_ns = t3 - t0

@@ -1,0 +1,168 @@
+"""Capacity-aware table placement (the planning step before sharding).
+
+The paper's motivation is that embedding tables outgrow one GPU ("the
+major driving force to use multiple GPUs for DLRM"); with the uniform
+tables of its experiments, contiguous assignment is trivially balanced.
+Real table sets (see :func:`repro.dlrm.heterogeneous.criteo_like`) are
+skewed over six orders of magnitude, and naive contiguous placement can
+overflow one device while leaving others empty.
+
+:func:`plan_table_wise` solves the practical problem: given table configs
+and a device spec, pick the minimal device count and a balanced
+assignment.
+
+* placement: LPT (longest-processing-time) greedy — sort tables by
+  descending footprint, always assign to the least-loaded device; a
+  classic 4/3-approximation of balanced partitioning.
+* capacity: each device keeps ``reserve_fraction`` of HBM free for
+  activations, buffers, and CUDA overheads.
+* output: a :class:`PlacementReport` wrapping an explicit
+  :class:`~repro.core.sharding.TableWiseSharding` ready for
+  :class:`~repro.core.retrieval.DistributedEmbedding`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..dlrm.embedding import EmbeddingTableConfig
+from ..simgpu.device import DeviceSpec, V100_SPEC
+from .sharding import TableWiseSharding
+
+__all__ = ["PlacementError", "PlacementReport", "plan_table_wise", "min_devices_required"]
+
+
+class PlacementError(ValueError):
+    """No feasible placement exists under the given constraints."""
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """A feasible placement and its balance statistics."""
+
+    plan: TableWiseSharding
+    device_spec: DeviceSpec
+    reserve_fraction: float
+
+    @property
+    def n_devices(self) -> int:
+        """Devices used."""
+        return self.plan.n_devices
+
+    @property
+    def per_device_bytes(self) -> List[int]:
+        """Weight bytes per device."""
+        return [self.plan.memory_bytes(d) for d in range(self.n_devices)]
+
+    @property
+    def utilization(self) -> List[float]:
+        """Fraction of each device's usable budget consumed."""
+        budget = self.device_spec.mem_bytes * (1.0 - self.reserve_fraction)
+        return [b / budget for b in self.per_device_bytes]
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean per-device load (1.0 = perfectly balanced)."""
+        loads = self.per_device_bytes
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 1.0
+
+    def summary(self) -> str:
+        """Human-readable placement table."""
+        lines = [
+            f"placement: {self.plan.num_tables} tables on {self.n_devices} x "
+            f"{self.device_spec.name} (reserve {self.reserve_fraction:.0%})"
+        ]
+        for d in range(self.n_devices):
+            tables = self.plan.tables_on(d)
+            lines.append(
+                f"  dev {d}: {len(tables):3d} tables, "
+                f"{self.per_device_bytes[d] / 2**30:6.2f} GiB "
+                f"({self.utilization[d]:5.1%} of budget)"
+            )
+        lines.append(f"  imbalance (max/mean): {self.imbalance:.3f}")
+        return "\n".join(lines)
+
+
+def _usable_budget(spec: DeviceSpec, reserve_fraction: float) -> float:
+    if not (0.0 <= reserve_fraction < 1.0):
+        raise ValueError(f"reserve_fraction must be in [0, 1), got {reserve_fraction}")
+    return spec.mem_bytes * (1.0 - reserve_fraction)
+
+
+def min_devices_required(
+    table_configs: Sequence[EmbeddingTableConfig],
+    device_spec: DeviceSpec = V100_SPEC,
+    reserve_fraction: float = 0.1,
+) -> int:
+    """Lower bound on devices: total bytes / usable budget (ceil).
+
+    The LPT packing may need one more than this bound in adversarial cases;
+    :func:`plan_table_wise` searches upward from here.
+    """
+    budget = _usable_budget(device_spec, reserve_fraction)
+    biggest = max(t.nbytes for t in table_configs)
+    if biggest > budget:
+        raise PlacementError(
+            f"table of {biggest} B exceeds a single device's usable budget "
+            f"({budget:.0f} B); table-wise sharding cannot place it — "
+            "use row-wise sharding for that table"
+        )
+    total = sum(t.nbytes for t in table_configs)
+    return max(1, -(-int(total) // int(budget)))
+
+
+def plan_table_wise(
+    table_configs: Sequence[EmbeddingTableConfig],
+    n_devices: Optional[int] = None,
+    device_spec: DeviceSpec = V100_SPEC,
+    reserve_fraction: float = 0.1,
+    max_devices: int = 64,
+) -> PlacementReport:
+    """Balanced, capacity-feasible table-wise placement.
+
+    With ``n_devices`` given, places onto exactly that many (raising
+    :class:`PlacementError` if infeasible); otherwise finds the smallest
+    feasible count ≤ ``max_devices``.
+    """
+    if not table_configs:
+        raise ValueError("nothing to place")
+    budget = _usable_budget(device_spec, reserve_fraction)
+
+    def try_pack(G: int) -> Optional[dict]:
+        # LPT: biggest table first onto the least-loaded device.
+        heap = [(0.0, d) for d in range(G)]
+        heapq.heapify(heap)
+        owners = {}
+        order = sorted(table_configs, key=lambda t: t.nbytes, reverse=True)
+        for cfg in order:
+            load, dev = heapq.heappop(heap)
+            if load + cfg.nbytes > budget:
+                return None
+            owners[cfg.name] = dev
+            heapq.heappush(heap, (load + cfg.nbytes, dev))
+        return owners
+
+    if n_devices is not None:
+        owners = try_pack(n_devices)
+        if owners is None:
+            raise PlacementError(
+                f"{len(table_configs)} tables "
+                f"({sum(t.nbytes for t in table_configs) / 2**30:.1f} GiB) do not fit "
+                f"on {n_devices} x {device_spec.name} with "
+                f"{reserve_fraction:.0%} reserve"
+            )
+        plan = TableWiseSharding.from_assignment(table_configs, n_devices, owners)
+        return PlacementReport(plan, device_spec, reserve_fraction)
+
+    start = min_devices_required(table_configs, device_spec, reserve_fraction)
+    for G in range(start, max_devices + 1):
+        owners = try_pack(G)
+        if owners is not None:
+            plan = TableWiseSharding.from_assignment(table_configs, G, owners)
+            return PlacementReport(plan, device_spec, reserve_fraction)
+    raise PlacementError(
+        f"no feasible placement within {max_devices} devices"
+    )

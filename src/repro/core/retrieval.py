@@ -1,0 +1,185 @@
+"""High-level distributed embedding retrieval API.
+
+:class:`DistributedEmbedding` is the user-facing entry point (the analogue
+of the paper's PyTorch backend): configure tables, device count, and a
+backend (``"pgas"`` or ``"baseline"``), then call :meth:`forward` with a
+jagged batch.  It
+
+* builds the table-wise sharding plan and registers every table's weights
+  with the per-device memory accountants (so paper-scale configurations
+  exercise the real 32 GB capacity wall);
+* runs the **timed** path on the cluster simulator for every batch,
+  accumulating a :class:`~repro.core.baseline.PhaseTiming`;
+* optionally (``materialize=True``) holds real numpy weights and also runs
+  the **functional** path, returning per-device output tensors that are
+  bit-identical across backends.
+
+Example
+-------
+>>> from repro import DistributedEmbedding, WorkloadConfig, SyntheticDataGenerator
+>>> cfg = WorkloadConfig(num_tables=8, rows_per_table=1000, dim=16,
+...                      batch_size=64, max_pooling=8)
+>>> emb = DistributedEmbedding(cfg, n_devices=2, backend="pgas", materialize=True)
+>>> batch = SyntheticDataGenerator(cfg).sparse_batch()
+>>> result = emb.forward(batch)
+>>> [o.shape for o in result.outputs]
+[(32, 8, 16), (32, 8, 16)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..comm.collective import CollectiveSpec
+from ..comm.pgas import PGASSpec
+from ..dlrm.batch import SparseBatch
+from ..dlrm.data import WorkloadConfig
+from ..dlrm.embedding import EmbeddingBagCollection, EmbeddingTableConfig
+from ..simgpu.cluster import Cluster, dgx_v100
+from .baseline import BaselineRetrieval, PhaseTiming
+from .functional import (
+    ShardedEmbeddingTables,
+    baseline_functional_forward,
+    pgas_functional_forward,
+)
+from .pgas_retrieval import PGASFusedRetrieval
+from .sharding import TableWiseSharding
+from .workload import DeviceWorkload, build_device_workloads, lengths_from_batch
+
+__all__ = ["BackendName", "ForwardResult", "DistributedEmbedding"]
+
+BackendName = Literal["pgas", "baseline"]
+
+
+@dataclass
+class ForwardResult:
+    """Outcome of one distributed EMB forward call.
+
+    ``outputs`` is the per-device list of ``(B_g, F, d)`` tensors when the
+    module is materialised, else ``None`` (timing-only run).
+    """
+
+    timing: PhaseTiming
+    outputs: Optional[List[np.ndarray]] = None
+
+    @property
+    def total_ms(self) -> float:
+        """Simulated wall time in milliseconds."""
+        return self.timing.total_ns / 1e6
+
+
+class DistributedEmbedding:
+    """Multi-GPU embedding retrieval with a pluggable communication backend."""
+
+    def __init__(
+        self,
+        tables: Union[WorkloadConfig, Sequence[EmbeddingTableConfig]],
+        n_devices: int,
+        *,
+        backend: BackendName = "pgas",
+        sharding_strategy: Literal["contiguous", "round_robin"] = "contiguous",
+        cluster: Optional[Cluster] = None,
+        materialize: bool = False,
+        collective_spec: Optional[CollectiveSpec] = None,
+        pgas_spec: Optional[PGASSpec] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if backend not in ("pgas", "baseline"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if isinstance(tables, WorkloadConfig):
+            table_configs = tables.table_configs()
+        else:
+            table_configs = list(tables)
+        self.backend: BackendName = backend
+        self.cluster = cluster or dgx_v100(n_devices)
+        if self.cluster.n_devices != n_devices:
+            raise ValueError(
+                f"cluster has {self.cluster.n_devices} devices, asked for {n_devices}"
+            )
+        self.plan = TableWiseSharding(table_configs, n_devices, strategy=sharding_strategy)
+        self.plan.validate()
+
+        # Register weight storage with the per-device memory accountants.
+        self._weight_buffers = []
+        for dev in self.cluster.devices:
+            for cfg in self.plan.tables_on(dev.id):
+                self._weight_buffers.append(
+                    dev.memory.alloc(
+                        (cfg.num_rows, cfg.dim),
+                        cfg.dtype,
+                        materialize=False,
+                        label=f"weights.{cfg.name}",
+                    )
+                )
+
+        self._baseline = BaselineRetrieval(self.cluster, collective_spec)
+        self._pgas = PGASFusedRetrieval(self.cluster, pgas_spec)
+
+        self.sharded: Optional[ShardedEmbeddingTables] = None
+        if materialize:
+            ebc = EmbeddingBagCollection.from_configs(table_configs, rng=rng)
+            self.sharded = ShardedEmbeddingTables.from_collection(ebc, self.plan)
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def n_devices(self) -> int:
+        """Device count."""
+        return self.cluster.n_devices
+
+    @property
+    def materialized(self) -> bool:
+        """Whether real weights (and functional outputs) are available."""
+        return self.sharded is not None
+
+    def memory_bytes(self, device_id: int) -> int:
+        """Accounted embedding-weight bytes on one device."""
+        return self.plan.memory_bytes(device_id)
+
+    # -- forward ----------------------------------------------------------------
+
+    def build_workloads(
+        self, lengths_by_feature: Mapping[str, np.ndarray]
+    ) -> List[DeviceWorkload]:
+        """Derive the per-device simulator workloads for one batch."""
+        return build_device_workloads(self.plan, lengths_by_feature)
+
+    def forward(self, batch: SparseBatch, backend: Optional[BackendName] = None) -> ForwardResult:
+        """Run one batch: timed always; functional when materialised.
+
+        ``backend`` overrides the instance default for this call — handy
+        for A/B comparisons on identical inputs.
+        """
+        be = backend or self.backend
+        workloads = self.build_workloads(lengths_from_batch(batch))
+        timing = self._run_timed(be, workloads)
+        outputs: Optional[List[np.ndarray]] = None
+        if self.sharded is not None:
+            if be == "baseline":
+                outputs, _blocks = baseline_functional_forward(self.sharded, batch)
+            else:
+                outputs = pgas_functional_forward(self.sharded, batch)
+        return ForwardResult(timing=timing, outputs=outputs)
+
+    def forward_timed(
+        self,
+        lengths_by_feature: Mapping[str, np.ndarray],
+        backend: Optional[BackendName] = None,
+    ) -> PhaseTiming:
+        """Timing-only forward from pooling factors (paper-scale safe)."""
+        workloads = self.build_workloads(lengths_by_feature)
+        return self._run_timed(backend or self.backend, workloads)
+
+    def _run_timed(self, be: BackendName, workloads: List[DeviceWorkload]) -> PhaseTiming:
+        if be == "baseline":
+            return self._baseline.run_batch(workloads)
+        return self._pgas.run_batch(workloads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DistributedEmbedding backend={self.backend} G={self.n_devices} "
+            f"T={self.plan.num_tables} materialized={self.materialized}>"
+        )

@@ -1,0 +1,191 @@
+"""Inference-serving simulation: request queues, batching, tail latency.
+
+The paper motivates its optimisation with inference economics (DLRM is
+"over 70% of inference time" at Meta, citing DeepRecSys), where what
+matters is not batch throughput but *latency under load*: requests arrive
+continuously, a batcher groups them, and the EMB layer's exposed
+communication sits directly on the tail.
+
+:class:`InferenceServer` runs that loop on the simulator:
+
+* requests arrive as a Poisson process at ``arrival_qps``;
+* a batcher collects up to ``max_batch`` requests, waiting at most
+  ``batch_window_ns`` after the first queued request;
+* each batch runs the full timed DLRM pipeline
+  (:class:`~repro.core.pipeline.DLRMInferencePipeline`) with the chosen
+  EMB backend, serially (one model replica);
+* per-request latency = completion − arrival.
+
+:meth:`InferenceServer.simulate` returns a :class:`ServingResult` with the
+latency distribution, throughput, and queue statistics — the backend with
+the shorter EMB stage sustains visibly higher load before the queue (and
+the tail) blows up, which is what the serving example/bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..dlrm.data import SyntheticDataGenerator
+from ..simgpu.engine import Event, ProcessGenerator
+from ..simgpu.units import ms, us
+from .pipeline import DLRMInferencePipeline, PipelineTiming
+from .retrieval import BackendName
+
+__all__ = ["ServingSpec", "ServingResult", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """Load and batching policy."""
+
+    arrival_qps: float  #: mean request arrival rate (Poisson)
+    max_batch: int = 256  #: batcher's size cap
+    batch_window_ns: float = 2 * ms  #: max wait after the first queued request
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_qps <= 0:
+            raise ValueError("arrival_qps must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.batch_window_ns < 0:
+            raise ValueError("batch_window_ns must be non-negative")
+
+    @property
+    def mean_interarrival_ns(self) -> float:
+        """Expected gap between requests."""
+        return 1e9 / self.arrival_qps
+
+
+@dataclass
+class ServingResult:
+    """Outcome of one serving simulation."""
+
+    latencies_ns: np.ndarray
+    batch_sizes: List[int]
+    sim_duration_ns: float
+    backend: str
+
+    @property
+    def n_requests(self) -> int:
+        """Requests served."""
+        return int(self.latencies_ns.size)
+
+    def percentile_ms(self, q: float) -> float:
+        """Latency percentile in milliseconds."""
+        return float(np.percentile(self.latencies_ns, q)) / ms
+
+    @property
+    def p50_ms(self) -> float:
+        """Median latency."""
+        return self.percentile_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        """Tail latency."""
+        return self.percentile_ms(99)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average formed batch size."""
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        """Served requests per (simulated) second."""
+        if self.sim_duration_ns <= 0:
+            return 0.0
+        return self.n_requests / (self.sim_duration_ns / 1e9)
+
+    def summary(self) -> str:
+        """One-line result."""
+        return (
+            f"{self.backend}: {self.n_requests} reqs, p50 {self.p50_ms:.2f} ms, "
+            f"p99 {self.p99_ms:.2f} ms, mean batch {self.mean_batch_size:.0f}, "
+            f"{self.throughput_qps:,.0f} qps"
+        )
+
+
+class InferenceServer:
+    """One model replica serving a Poisson request stream."""
+
+    def __init__(self, pipeline: DLRMInferencePipeline, spec: ServingSpec):
+        self.pipeline = pipeline
+        self.spec = spec
+
+    def simulate(
+        self, n_requests: int, backend: Optional[BackendName] = None
+    ) -> ServingResult:
+        """Serve ``n_requests`` to completion; returns the latency stats."""
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        pipeline = self.pipeline
+        cluster = pipeline.cluster
+        engine = cluster.engine
+        spec = self.spec
+        rng = np.random.default_rng(spec.seed)
+        workload = pipeline.config.workload
+        gen = SyntheticDataGenerator(workload)
+
+        queue: List[float] = []  # arrival times of waiting requests
+        arrived = 0
+        new_arrival: List[Event] = [engine.event("arrival")]
+        latencies: List[float] = []
+        batch_sizes: List[int] = []
+        t_start = engine.now
+
+        def arrivals() -> ProcessGenerator:
+            nonlocal arrived
+            for _ in range(n_requests):
+                gap = rng.exponential(spec.mean_interarrival_ns)
+                yield engine.timeout(gap)
+                queue.append(engine.now)
+                arrived += 1
+                ev = new_arrival[0]
+                if not ev.triggered:
+                    ev.succeed()
+
+        def server() -> ProcessGenerator:
+            while len(latencies) < n_requests:
+                if not queue:
+                    ev = engine.event("arrival")
+                    new_arrival[0] = ev
+                    yield ev
+                # Batcher: wait for the window (or until the cap is full).
+                deadline = queue[0] + spec.batch_window_ns
+                while (
+                    len(queue) < spec.max_batch
+                    and arrived < n_requests
+                    and engine.now < deadline
+                ):
+                    ev = engine.event("arrival")
+                    new_arrival[0] = ev
+                    remaining = deadline - engine.now
+                    yield engine.any_of([ev, engine.timeout(remaining)])
+                k = min(len(queue), spec.max_batch)
+                batch_arrivals = queue[:k]
+                del queue[:k]
+                batch_sizes.append(k)
+                lengths = gen.lengths_batch(batch_size=k)
+                timing = PipelineTiming()
+                yield engine.process(
+                    pipeline.batch_process(lengths, timing, backend),
+                    name="serve_batch",
+                )
+                done = engine.now
+                latencies.extend(done - a for a in batch_arrivals)
+
+        arr_proc = engine.process(arrivals(), name="arrivals")
+        srv_proc = engine.process(server(), name="server")
+        engine.run_until_event(srv_proc)
+
+        return ServingResult(
+            latencies_ns=np.array(latencies),
+            batch_sizes=batch_sizes,
+            sim_duration_ns=engine.now - t_start,
+            backend=backend or pipeline.backend,
+        )

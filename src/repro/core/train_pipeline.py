@@ -1,0 +1,171 @@
+"""Timed end-to-end DLRM *training* step (the paper's §I motivation).
+
+"More than 50% of machine learning training time at Meta is devoted to
+deep learning recommendation models" — and the EMB layer's communication
+appears **twice** per training step: the forward layout conversion this
+paper optimises, and the backward gradient exchange its §V sketches.
+This module composes the timed pieces into one step:
+
+1. forward: input staging, dense MLP ∥ distributed EMB forward (Fig. 4),
+   interaction + top MLP (:class:`~repro.core.pipeline.DLRMInferencePipeline`);
+2. dense backward: top MLP, interaction, bottom MLP gradient kernels
+   (data-parallel, local) plus the gradient all-reduce for the replicated
+   MLP weights — the part DLRM systems overlap with the EMB backward;
+3. EMB backward: the chosen scheme's gradient exchange + scatter-add
+   (:mod:`repro.core.backward`), overlapped with the dense backward.
+
+``run_step`` returns a :class:`TrainStepTiming` with forward, backward,
+and total times per backend — the bench shows the PGAS advantage roughly
+doubles when both directions are counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..comm.collective import CollectiveContext, CollectiveSpec
+from ..simgpu.cluster import Cluster
+from ..simgpu.engine import ProcessGenerator
+from ..simgpu.kernel import KernelSpec, execute_kernel
+from .backward import BaselineBackward, PGASFusedBackward
+from .baseline import PhaseTiming
+from .pipeline import DLRMInferencePipeline, PipelineConfig, PipelineTiming
+from .retrieval import BackendName
+from .sharding import minibatch_bounds
+from .workload import build_device_workloads
+
+__all__ = ["TrainStepTiming", "DLRMTrainingPipeline"]
+
+
+@dataclass
+class TrainStepTiming:
+    """Per-phase wall times of one (or many accumulated) training steps."""
+
+    forward: PipelineTiming = field(default_factory=PipelineTiming)
+    dense_backward_ns: float = 0.0
+    emb_backward: PhaseTiming = field(default_factory=PhaseTiming)
+    total_ns: float = 0.0
+    steps: int = 0
+
+    def add(self, other: "TrainStepTiming") -> None:
+        """Accumulate another step."""
+        self.forward.add(other.forward)
+        self.dense_backward_ns += other.dense_backward_ns
+        self.emb_backward.add(other.emb_backward)
+        self.total_ns += other.total_ns
+        self.steps += other.steps
+
+
+class DLRMTrainingPipeline:
+    """Timed training steps with a pluggable EMB communication backend."""
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        n_devices: int,
+        *,
+        backend: BackendName = "pgas",
+        cluster: Optional[Cluster] = None,
+        collective_spec: Optional[CollectiveSpec] = None,
+    ):
+        self.config = config
+        self.backend: BackendName = backend
+        self.forward_pipeline = DLRMInferencePipeline(
+            config, n_devices, backend=backend, cluster=cluster,
+            collective_spec=collective_spec,
+        )
+        self.cluster = self.forward_pipeline.cluster
+        self.plan = self.forward_pipeline.plan
+        self._bwd_baseline = BaselineBackward(self.cluster, collective_spec)
+        self._bwd_pgas = PGASFusedBackward(self.cluster)
+        self._mlp_allreduce = CollectiveContext(self.cluster, collective_spec)
+
+    # -- cost helpers -------------------------------------------------------------
+
+    def _dense_backward_kernel(self, dev_id: int) -> KernelSpec:
+        """Backward through top MLP + interaction + bottom MLP: ~2x forward."""
+        cfg = self.config
+        top = self.forward_pipeline._mlp_kernel("top_mlp_bwd", dev_id, cfg.top_sizes)
+        bottom = self.forward_pipeline._mlp_kernel(
+            "bottom_mlp_bwd", dev_id, cfg.bottom_sizes
+        )
+        inter = self.forward_pipeline._interaction_kernel(dev_id)
+        return KernelSpec(
+            name=f"dense_bwd.dev{dev_id}",
+            num_blocks=top.num_blocks + bottom.num_blocks + inter.num_blocks,
+            bytes_read=2.0 * (top.bytes_read + bottom.bytes_read + inter.bytes_read),
+            bytes_written=2.0 * (top.bytes_written + bottom.bytes_written + inter.bytes_written),
+            flops=2.0 * (top.flops + bottom.flops + inter.flops),
+        )
+
+    def _mlp_weight_bytes(self) -> float:
+        """Replicated MLP parameter bytes (the all-reduce payload)."""
+        cfg = self.config
+        total = 0.0
+        for sizes in (cfg.bottom_sizes, cfg.top_sizes):
+            total += 4.0 * sum(a * b + b for a, b in zip(sizes, sizes[1:]))
+        return total
+
+    # -- running --------------------------------------------------------------------
+
+    def run_step(
+        self,
+        lengths_by_feature: Mapping[str, np.ndarray],
+        backend: Optional[BackendName] = None,
+    ) -> TrainStepTiming:
+        """Simulate one forward + backward training step."""
+        be = backend or self.backend
+        timing = TrainStepTiming(steps=1)
+        workloads = build_device_workloads(self.plan, lengths_by_feature)
+
+        def step(cluster: Cluster) -> ProcessGenerator:
+            engine = cluster.engine
+            t0 = engine.now
+            # ---- forward -------------------------------------------------------
+            timing.forward.batches = 1
+            yield engine.process(
+                self.forward_pipeline._process(cluster, workloads, timing.forward, be),
+                name="train_forward",
+            )
+            t1 = engine.now
+
+            # ---- backward: dense path ∥ EMB gradient exchange ------------------
+            def dense_backward() -> ProcessGenerator:
+                ops = []
+                for dev in cluster.devices:
+                    k = self._dense_backward_kernel(dev.id)
+                    stream = dev.stream("dense")
+                    stream.submit_delay(dev.spec.kernel_launch_overhead_ns, "launch")
+                    ops.append(stream.submit(
+                        lambda d=dev, ks=k: execute_kernel(d, ks), name=k.name))
+                yield engine.all_of([op.done for op in ops])
+                # Data-parallel MLP weights: ring all-reduce of the grads.
+                if cluster.n_devices > 1:
+                    handle = self._mlp_allreduce.all_reduce(self._mlp_weight_bytes())
+                    yield from handle.wait()
+                return engine.now
+
+            bwd = self._bwd_baseline if be == "baseline" else self._bwd_pgas
+            timing.emb_backward.batches = 1
+            dense_proc = engine.process(dense_backward(), name="dense_bwd")
+            emb_proc = engine.process(
+                bwd._process(cluster, workloads, timing.emb_backward),
+                name="emb_bwd",
+            )
+            yield engine.all_of([dense_proc, emb_proc])
+            t2 = engine.now
+            timing.dense_backward_ns = dense_proc.value - t1
+            timing.total_ns = t2 - t0
+
+        self.cluster.run(step)
+        return timing
+
+    def run_steps(self, lengths_iter, backend: Optional[BackendName] = None) -> TrainStepTiming:
+        """Accumulate over an iterable of per-step length maps."""
+        total = TrainStepTiming()
+        for lengths in lengths_iter:
+            total.add(self.run_step(lengths, backend))
+        return total

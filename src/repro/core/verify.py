@@ -1,0 +1,156 @@
+"""Self-check utilities: functional equivalence and byte-accounting audits.
+
+``verify_backend_equivalence`` is the library's own acceptance test,
+exposed as API so downstream users can run it against *their* table
+configurations before trusting a backend swap:
+
+1. functional — both backends' outputs must be bit-identical to the
+   single-device oracle on randomized batches;
+2. accounting — the timing model's all-to-all split matrix must equal the
+   functional layer's actual wire bytes, pair by pair;
+3. conservation — every remote byte the PGAS path issues must be delivered
+   (simulator-side counter == workload-side expectation).
+
+Returns a :class:`VerificationReport`; raises :class:`VerificationError`
+with a precise description on the first violated invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..dlrm.data import SyntheticDataGenerator, WorkloadConfig
+from ..dlrm.embedding import EmbeddingBagCollection, EmbeddingTableConfig
+from ..simgpu.cluster import dgx_v100
+from .functional import (
+    ShardedEmbeddingTables,
+    baseline_functional_forward,
+    pgas_functional_forward,
+    reference_forward,
+)
+from .pgas_retrieval import PGASFusedRetrieval
+from .sharding import TableWiseSharding, minibatch_bounds
+from .workload import alltoall_split_bytes, build_device_workloads, lengths_from_batch
+
+__all__ = ["VerificationError", "VerificationReport", "verify_backend_equivalence"]
+
+
+class VerificationError(AssertionError):
+    """An equivalence or accounting invariant failed."""
+
+
+@dataclass
+class VerificationReport:
+    """What was checked and how much."""
+
+    n_devices: int
+    num_tables: int
+    batches_checked: int = 0
+    samples_checked: int = 0
+    wire_bytes_audited: float = 0.0
+    checks: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable result."""
+        return (
+            f"verified {self.batches_checked} batches "
+            f"({self.samples_checked} samples) of {self.num_tables} tables on "
+            f"{self.n_devices} devices; audited {self.wire_bytes_audited:,.0f} "
+            f"wire bytes; checks: {', '.join(self.checks)}"
+        )
+
+
+def verify_backend_equivalence(
+    tables: Union[WorkloadConfig, Sequence[EmbeddingTableConfig]],
+    n_devices: int,
+    *,
+    n_batches: int = 3,
+    batch_size: Optional[int] = None,
+    max_pooling: int = 8,
+    seed: int = 0,
+) -> VerificationReport:
+    """Run the three audits; returns a report or raises on failure."""
+    if isinstance(tables, WorkloadConfig):
+        workload = tables
+        table_configs = workload.table_configs()
+    else:
+        table_configs = list(tables)
+        workload = WorkloadConfig(
+            num_tables=len(table_configs),
+            rows_per_table=max(t.num_rows for t in table_configs),
+            dim=table_configs[0].dim,
+            batch_size=batch_size or 64,
+            max_pooling=max_pooling,
+            seed=seed,
+        )
+        # Regenerate configs so generator feature names match.
+        table_configs = workload.table_configs()
+    if batch_size is not None:
+        workload = workload.with_batch_size(batch_size)
+    if n_batches <= 0:
+        raise ValueError("n_batches must be positive")
+
+    report = VerificationReport(n_devices=n_devices, num_tables=len(table_configs))
+    ebc = EmbeddingBagCollection.from_configs(
+        table_configs, rng=np.random.default_rng(seed)
+    )
+    plan = TableWiseSharding(table_configs, n_devices)
+    plan.validate()
+    sharded = ShardedEmbeddingTables.from_collection(ebc, plan)
+    gen = SyntheticDataGenerator(workload)
+
+    for b in range(n_batches):
+        batch = gen.sparse_batch()
+        bounds = minibatch_bounds(batch.batch_size, n_devices)
+
+        # -- check 1: functional equivalence ------------------------------------
+        ref = reference_forward(ebc, batch)
+        base_out, blocks = baseline_functional_forward(sharded, batch)
+        pgas_out = pgas_functional_forward(sharded, batch)
+        for g, (lo, hi) in enumerate(bounds):
+            if not np.array_equal(base_out[g], ref[lo:hi]):
+                raise VerificationError(
+                    f"batch {b}: baseline output diverges from oracle on device {g}"
+                )
+            if not np.array_equal(pgas_out[g], base_out[g]):
+                raise VerificationError(
+                    f"batch {b}: PGAS output diverges from baseline on device {g}"
+                )
+
+        # -- check 2: wire-format accounting --------------------------------------
+        workloads = build_device_workloads(plan, lengths_from_batch(batch))
+        split = alltoall_split_bytes(workloads)
+        for block in blocks:
+            if block.src == block.dst:
+                continue
+            modeled = split[block.src, block.dst]
+            if block.nbytes != modeled:
+                raise VerificationError(
+                    f"batch {b}: wire bytes {block.src}->{block.dst}: functional "
+                    f"{block.nbytes} != modeled {modeled}"
+                )
+            report.wire_bytes_audited += block.nbytes
+
+        # -- check 3: delivery conservation ----------------------------------------
+        cluster = dgx_v100(n_devices)
+        retrieval = PGASFusedRetrieval(cluster)
+        retrieval.run_batch(workloads)
+        expected_remote = sum(wl.remote_output_bytes for wl in workloads)
+        if n_devices > 1:
+            from ..comm.pgas import PGASContext
+
+            delivered = cluster.profiler.counter(PGASContext.COUNTER).total
+            if abs(delivered - expected_remote) > 0.5:
+                raise VerificationError(
+                    f"batch {b}: PGAS delivered {delivered} B but the workload "
+                    f"model expected {expected_remote} B"
+                )
+
+        report.batches_checked += 1
+        report.samples_checked += batch.batch_size
+
+    report.checks = ["functional-equivalence", "wire-accounting", "delivery-conservation"]
+    return report

@@ -1,0 +1,261 @@
+"""Derived per-device EMB kernel workloads and communication volumes.
+
+Bridges the functional world (jagged batches, sharding plans) and the
+simulator world (kernel specs, byte matrices).  Both retrieval backends
+consume a :class:`DeviceWorkload` per device:
+
+* the **baseline** uses its :meth:`DeviceWorkload.kernel_spec` plus the
+  all-to-all :func:`alltoall_split_bytes` matrix and
+  :func:`unpack_bytes_received`;
+* the **PGAS fused** backend additionally needs *where each thread block's
+  outputs go* — :attr:`DeviceWorkload.block_dst_bytes` — so each retiring
+  wave can inject exactly its remote bytes toward each destination.
+
+Timing never needs the index values themselves, only the jagged *lengths*
+(pooling factors): byte counts are fully determined by them.  That is what
+lets the benchmarks run the paper-scale configuration (17 GB of simulated
+reads per GPU per batch) without allocating any of it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..dlrm.batch import SparseBatch
+from ..simgpu.device import DeviceSpec
+from ..simgpu.kernel import KernelSpec
+from .calibration import (
+    EMB_MIN_WAVES_FOR_PEAK,
+    EMB_SAMPLES_PER_BLOCK,
+    INDEX_BYTES,
+    OFFSET_BYTES,
+)
+from .sharding import TableWiseSharding, minibatch_bounds, sample_owner
+
+__all__ = [
+    "DeviceWorkload",
+    "build_device_workloads",
+    "lengths_from_batch",
+    "alltoall_split_bytes",
+    "unpack_bytes_received",
+]
+
+
+def lengths_from_batch(batch: SparseBatch) -> Dict[str, np.ndarray]:
+    """Per-feature pooling-factor arrays of a functional batch."""
+    return {name: field.lengths for name, field in batch}
+
+
+@dataclass
+class DeviceWorkload:
+    """One device's share of an EMB forward pass, in byte terms.
+
+    Attributes
+    ----------
+    device_id:
+        The owning device.
+    batch_size:
+        Full (global) batch size B — model parallelism means every device
+        processes the *full batch* of its local features.
+    row_bytes:
+        Bytes of one embedding vector (d × itemsize).
+    num_local_tables:
+        Tables resident on this device.
+    nnz:
+        Total lookups this device performs.
+    num_blocks / samples_per_block:
+        Grid geometry of the retrieval kernel.
+    block_weights:
+        Per-block lookup counts (jagged work distribution across the grid).
+    block_dst_bytes:
+        ``(num_blocks, n_devices)`` — output bytes each block produces for
+        each destination device's mini-batch.  Row sums are the block's
+        total output; the off-diagonal (≠ ``device_id``) columns are what
+        the PGAS kernel sends as one-sided writes.
+    """
+
+    device_id: int
+    n_devices: int
+    batch_size: int
+    row_bytes: int
+    num_local_tables: int
+    nnz: int
+    num_blocks: int
+    samples_per_block: int
+    block_weights: np.ndarray
+    block_dst_bytes: np.ndarray
+
+    # -- totals ------------------------------------------------------------------
+
+    @property
+    def bytes_read(self) -> float:
+        """Kernel DRAM reads: embedding rows + indices + offsets."""
+        return (
+            float(self.nnz) * self.row_bytes
+            + float(self.nnz) * INDEX_BYTES
+            + float(self.batch_size * self.num_local_tables + 1) * OFFSET_BYTES
+        )
+
+    @property
+    def bytes_written(self) -> float:
+        """Kernel output writes: one pooled vector per (table, sample)."""
+        return float(self.batch_size * self.num_local_tables) * self.row_bytes
+
+    @property
+    def flops(self) -> float:
+        """Pooling additions (negligible next to the gather, as measured)."""
+        dim = self.row_bytes / 4.0
+        return float(self.nnz) * dim
+
+    @property
+    def output_bytes_by_dst(self) -> np.ndarray:
+        """Total output bytes destined to each device, ``(n_devices,)``."""
+        return self.block_dst_bytes.sum(axis=0)
+
+    @property
+    def remote_output_bytes(self) -> float:
+        """Output bytes leaving this device (the paper's comm volume)."""
+        out = self.output_bytes_by_dst
+        return float(out.sum() - out[self.device_id])
+
+    def kernel_spec(self, name: str = "emb_forward") -> KernelSpec:
+        """Simulator kernel launch for this device's retrieval pass."""
+        return KernelSpec(
+            name=f"{name}.dev{self.device_id}",
+            num_blocks=self.num_blocks,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            flops=self.flops,
+            block_weights=self.block_weights,
+            min_waves_for_peak=EMB_MIN_WAVES_FOR_PEAK,
+        )
+
+    def wave_dst_bytes(self, concurrent_blocks: int) -> np.ndarray:
+        """Per-wave destination byte matrix, ``(n_waves, n_devices)``.
+
+        Wave *w* executes blocks ``[w*C, (w+1)*C)``; summing their
+        ``block_dst_bytes`` rows gives the bytes that become sendable when
+        that wave retires.
+        """
+        if concurrent_blocks <= 0:
+            raise ValueError("concurrent_blocks must be positive")
+        n_waves = math.ceil(self.num_blocks / concurrent_blocks) if self.num_blocks else 0
+        out = np.zeros((n_waves, self.n_devices), dtype=np.float64)
+        for w in range(n_waves):
+            lo = w * concurrent_blocks
+            hi = min(lo + concurrent_blocks, self.num_blocks)
+            out[w] = self.block_dst_bytes[lo:hi].sum(axis=0)
+        return out
+
+
+def build_device_workloads(
+    plan: TableWiseSharding,
+    lengths_by_feature: Mapping[str, np.ndarray],
+    *,
+    samples_per_block: int = EMB_SAMPLES_PER_BLOCK,
+) -> List[DeviceWorkload]:
+    """Derive every device's :class:`DeviceWorkload` for one batch.
+
+    ``lengths_by_feature`` maps each table name to its per-sample pooling
+    factors (shape ``(B,)``); all features must agree on B.
+    """
+    missing = [t.name for t in plan.table_configs if t.name not in lengths_by_feature]
+    if missing:
+        raise KeyError(f"no lengths for features: {missing}")
+    sizes = {np.asarray(l).shape[0] for l in lengths_by_feature.values()}
+    if len(sizes) != 1:
+        raise ValueError(f"inconsistent batch sizes in lengths: {sorted(sizes)}")
+    B = sizes.pop()
+    G = plan.n_devices
+    if samples_per_block <= 0:
+        raise ValueError("samples_per_block must be positive")
+
+    # Grid geometry shared by all tables: chunks of contiguous samples.
+    n_chunks = math.ceil(B / samples_per_block)
+    owners = sample_owner(B, G)
+    # chunk_dst_counts[c, g] = samples of chunk c owned by device g.
+    chunk_dst_counts = np.zeros((n_chunks, G), dtype=np.int64)
+    chunk_ids = np.arange(B) // samples_per_block
+    np.add.at(chunk_dst_counts, (chunk_ids, owners), 1)
+
+    workloads: List[DeviceWorkload] = []
+    for dev in range(G):
+        tables = plan.tables_on(dev)
+        if not tables:
+            workloads.append(
+                DeviceWorkload(
+                    device_id=dev,
+                    n_devices=G,
+                    batch_size=B,
+                    row_bytes=plan.table_configs[0].row_bytes,
+                    num_local_tables=0,
+                    nnz=0,
+                    num_blocks=0,
+                    samples_per_block=samples_per_block,
+                    block_weights=np.empty(0),
+                    block_dst_bytes=np.zeros((0, G)),
+                )
+            )
+            continue
+        row_bytes = {t.row_bytes for t in tables}
+        if len(row_bytes) != 1:
+            raise ValueError("mixed embedding dims/dtypes on one device are unsupported")
+        rb = row_bytes.pop()
+        num_blocks = len(tables) * n_chunks
+        # Per-block lookup counts: reduceat of each table's lengths over chunks.
+        starts = np.arange(n_chunks) * samples_per_block
+        weights = np.concatenate(
+            [
+                np.add.reduceat(
+                    np.asarray(lengths_by_feature[t.name], dtype=np.int64), starts
+                )
+                for t in tables
+            ]
+        ).astype(np.float64)
+        nnz = int(sum(int(np.sum(lengths_by_feature[t.name])) for t in tables))
+        # Destination bytes: the chunk→device sample counts, tiled per table.
+        block_dst = np.tile(chunk_dst_counts, (len(tables), 1)).astype(np.float64) * rb
+        workloads.append(
+            DeviceWorkload(
+                device_id=dev,
+                n_devices=G,
+                batch_size=B,
+                row_bytes=rb,
+                num_local_tables=len(tables),
+                nnz=nnz,
+                num_blocks=num_blocks,
+                samples_per_block=samples_per_block,
+                block_weights=weights,
+                block_dst_bytes=block_dst,
+            )
+        )
+    return workloads
+
+
+def alltoall_split_bytes(workloads: Sequence[DeviceWorkload]) -> np.ndarray:
+    """All-to-all byte matrix ``split[src, dst]`` for the baseline.
+
+    Entry (s, d) is the size of src s's EMB output belonging to dst d's
+    mini-batch.  The diagonal (local share) moves no wire bytes.
+    """
+    G = len(workloads)
+    split = np.zeros((G, G), dtype=np.float64)
+    for wl in workloads:
+        split[wl.device_id] = wl.output_bytes_by_dst
+    np.fill_diagonal(split, 0.0)
+    return split
+
+
+def unpack_bytes_received(workloads: Sequence[DeviceWorkload], device_id: int) -> float:
+    """Bytes device ``device_id`` receives and must rearrange (baseline).
+
+    The unpack pass reads each received block and writes it to its final
+    position in the ``(B_g, F, d)`` tensor.
+    """
+    return float(
+        sum(wl.output_bytes_by_dst[device_id] for wl in workloads if wl.device_id != device_id)
+    )

@@ -1,0 +1,205 @@
+"""Jagged sparse-batch representation.
+
+A DLRM sparse input is jagged: per (feature, sample) a *bag* of indices
+whose size — the pooling factor — varies by feature and by sample, possibly
+zero ("NULL" in the paper's Fig. 3).  We use the standard CSR-style
+``(offsets, indices)`` encoding per feature, the same layout as PyTorch's
+``EmbeddingBag`` / TorchRec's ``KeyedJaggedTensor``:
+
+* ``offsets`` — int64 array of shape ``(batch_size + 1,)``, non-decreasing,
+  ``offsets[0] == 0``; bag *b* is ``indices[offsets[b]:offsets[b + 1]]``.
+* ``indices`` — int64 array of raw (pre-hash) sparse indices.
+
+:class:`SparseBatch` maps feature names to :class:`JaggedField` and supports
+the two partitionings of the distributed forward pass (paper Fig. 4):
+``select_features`` (model-parallel: a device takes the *full batch* for its
+local features) and ``slice_samples`` (data-parallel: a device's mini-batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["JaggedField", "SparseBatch"]
+
+
+@dataclass(frozen=True)
+class JaggedField:
+    """One feature's jagged bags for a batch, in CSR form."""
+
+    offsets: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets = np.asarray(self.offsets, dtype=np.int64)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "indices", indices)
+        if offsets.ndim != 1 or offsets.size == 0:
+            raise ValueError("offsets must be a 1-D array of length batch_size + 1")
+        if offsets[0] != 0:
+            raise ValueError(f"offsets[0] must be 0, got {offsets[0]}")
+        if np.any(np.diff(offsets) < 0):
+            raise ValueError("offsets must be non-decreasing")
+        if offsets[-1] != indices.size:
+            raise ValueError(
+                f"offsets[-1] ({offsets[-1]}) must equal len(indices) ({indices.size})"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        """Number of samples."""
+        return self.offsets.size - 1
+
+    @property
+    def nnz(self) -> int:
+        """Total indices across all bags."""
+        return int(self.indices.size)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Pooling factor per sample."""
+        return np.diff(self.offsets)
+
+    def bag(self, sample: int) -> np.ndarray:
+        """The index bag of one sample (possibly empty)."""
+        return self.indices[self.offsets[sample] : self.offsets[sample + 1]]
+
+    def bags(self) -> Iterator[np.ndarray]:
+        """Iterate over all bags in sample order."""
+        for b in range(self.batch_size):
+            yield self.bag(b)
+
+    @staticmethod
+    def from_lengths(lengths: Sequence[int], indices: np.ndarray) -> "JaggedField":
+        """Build from per-sample bag lengths plus flat indices."""
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if np.any(lengths < 0):
+            raise ValueError("bag lengths must be non-negative")
+        offsets = np.concatenate([[0], np.cumsum(lengths)])
+        return JaggedField(offsets=offsets, indices=np.asarray(indices, dtype=np.int64))
+
+    @staticmethod
+    def from_bags(bags: Sequence[Sequence[int]]) -> "JaggedField":
+        """Build from an explicit list of bags (convenient in tests)."""
+        lengths = [len(b) for b in bags]
+        if sum(lengths):
+            indices = np.concatenate([np.asarray(b, dtype=np.int64) for b in bags if len(b)])
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        return JaggedField.from_lengths(lengths, indices)
+
+    def slice_samples(self, lo: int, hi: int) -> "JaggedField":
+        """Sub-batch ``[lo, hi)`` — the data-parallel mini-batch cut."""
+        if not (0 <= lo <= hi <= self.batch_size):
+            raise ValueError(f"slice [{lo}, {hi}) out of range for batch {self.batch_size}")
+        base = self.offsets[lo]
+        return JaggedField(
+            offsets=self.offsets[lo : hi + 1] - base,
+            indices=self.indices[base : self.offsets[hi]],
+        )
+
+    def concat(self, other: "JaggedField") -> "JaggedField":
+        """Append another batch of the same feature (inverse of slicing)."""
+        return JaggedField(
+            offsets=np.concatenate([self.offsets, other.offsets[1:] + self.offsets[-1]]),
+            indices=np.concatenate([self.indices, other.indices]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JaggedField):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<JaggedField B={self.batch_size} nnz={self.nnz}>"
+
+
+class SparseBatch:
+    """All sparse features of one input batch: ``{feature_name: JaggedField}``.
+
+    All fields must share one batch size.  Iteration order is the insertion
+    order of ``fields`` (deterministic — feature order defines the layout of
+    the EMB output tensor, so it must be stable across devices).
+    """
+
+    def __init__(self, fields: Mapping[str, JaggedField]):
+        if not fields:
+            raise ValueError("a SparseBatch needs at least one feature")
+        sizes = {f.batch_size for f in fields.values()}
+        if len(sizes) != 1:
+            raise ValueError(f"inconsistent batch sizes across features: {sorted(sizes)}")
+        self._fields: Dict[str, JaggedField] = dict(fields)
+        self._batch_size = sizes.pop()
+
+    @property
+    def batch_size(self) -> int:
+        """Samples per feature."""
+        return self._batch_size
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Feature names in layout order."""
+        return list(self._fields.keys())
+
+    @property
+    def num_features(self) -> int:
+        """Number of sparse features."""
+        return len(self._fields)
+
+    @property
+    def total_nnz(self) -> int:
+        """Sum of nnz over all features."""
+        return sum(f.nnz for f in self._fields.values())
+
+    def field(self, name: str) -> JaggedField:
+        """One feature's jagged data."""
+        return self._fields[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fields
+
+    def __iter__(self) -> Iterator[Tuple[str, JaggedField]]:
+        return iter(self._fields.items())
+
+    # -- partitioning (paper Fig. 4) ------------------------------------------------
+
+    def select_features(self, names: Sequence[str]) -> "SparseBatch":
+        """Model-parallel cut: full batch restricted to ``names``."""
+        missing = [n for n in names if n not in self._fields]
+        if missing:
+            raise KeyError(f"unknown features: {missing}")
+        return SparseBatch({n: self._fields[n] for n in names})
+
+    def slice_samples(self, lo: int, hi: int) -> "SparseBatch":
+        """Data-parallel cut: samples ``[lo, hi)`` of every feature."""
+        return SparseBatch({n: f.slice_samples(lo, hi) for n, f in self._fields.items()})
+
+    def minibatch_bounds(self, n_parts: int) -> List[Tuple[int, int]]:
+        """Even split of the batch dimension into ``n_parts`` ranges.
+
+        The remainder is spread over the leading parts, matching the
+        all-to-all splits used by the distributed forward pass.
+        """
+        if n_parts <= 0:
+            raise ValueError("n_parts must be positive")
+        base, rem = divmod(self._batch_size, n_parts)
+        bounds = []
+        lo = 0
+        for p in range(n_parts):
+            hi = lo + base + (1 if p < rem else 0)
+            bounds.append((lo, hi))
+            lo = hi
+        return bounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<SparseBatch B={self._batch_size} features={self.num_features} "
+            f"nnz={self.total_nnz}>"
+        )

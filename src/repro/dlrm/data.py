@@ -1,0 +1,202 @@
+"""Synthetic workload generation (paper §IV: "the dense and sparse feature
+inputs are generated synthetically with a uniform random distribution").
+
+:class:`WorkloadConfig` captures the knobs of the paper's two experiments —
+number of tables, rows, embedding dim, batch size, and the pooling-factor
+cap — and :class:`SyntheticDataGenerator` draws batches from them.  Beyond
+the paper's uniform distribution, a Zipf index distribution and a
+fixed-pooling mode are provided for the extension studies (skewed access is
+what makes the backward pass's gradient aggregation interesting).
+
+Generation is deterministic given a seed; the same seed produces the same
+batches on every device, which the distributed tests use to avoid
+broadcasting inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Literal, Optional, Sequence
+
+import numpy as np
+
+from .batch import JaggedField, SparseBatch
+from .embedding import EmbeddingTableConfig, PoolingMode
+
+__all__ = ["WorkloadConfig", "SyntheticDataGenerator", "WEAK_SCALING_BASE", "STRONG_SCALING_TOTAL"]
+
+IndexDistribution = Literal["uniform", "zipf"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One experiment's workload description.
+
+    Attributes mirror the paper's setup tables:
+
+    * weak scaling: ``num_tables`` **per GPU** 64, 1M rows, dim 64,
+      batch 16384, pooling uniform with max 128;
+    * strong scaling: 96 tables **total**, 1M rows, dim 64, batch 16384,
+      pooling up to 32.
+    """
+
+    num_tables: int
+    rows_per_table: int = 1_000_000
+    dim: int = 64
+    batch_size: int = 16_384
+    max_pooling: int = 128
+    min_pooling: int = 0  #: 0 allows "NULL" bags as in paper Fig. 3
+    index_distribution: IndexDistribution = "uniform"
+    zipf_alpha: float = 1.05
+    pooling: PoolingMode = "sum"
+    raw_cardinality: Optional[int] = None  #: pre-hash index space; default = rows
+    seed: int = 2024
+    num_dense_features: int = 13  #: Criteo-like dense width for the full model
+
+    def __post_init__(self) -> None:
+        if self.num_tables <= 0:
+            raise ValueError("num_tables must be positive")
+        if self.rows_per_table <= 0 or self.dim <= 0 or self.batch_size <= 0:
+            raise ValueError("rows, dim and batch_size must be positive")
+        if not (0 <= self.min_pooling <= self.max_pooling):
+            raise ValueError(
+                f"need 0 <= min_pooling <= max_pooling, got "
+                f"[{self.min_pooling}, {self.max_pooling}]"
+            )
+        if self.index_distribution == "zipf" and self.zipf_alpha <= 1.0:
+            raise ValueError("zipf_alpha must be > 1 for a proper Zipf law")
+
+    @property
+    def mean_pooling(self) -> float:
+        """Expected bag size under the uniform pooling draw."""
+        return (self.min_pooling + self.max_pooling) / 2.0
+
+    @property
+    def table_bytes(self) -> int:
+        """Weight bytes of one table (float32)."""
+        return self.rows_per_table * self.dim * 4
+
+    @property
+    def total_table_bytes(self) -> int:
+        """Weight bytes across all tables."""
+        return self.num_tables * self.table_bytes
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Deterministic feature naming: ``sparse_0 ... sparse_{T-1}``."""
+        return [f"sparse_{i}" for i in range(self.num_tables)]
+
+    def table_configs(self) -> List[EmbeddingTableConfig]:
+        """Embedding-table configs for this workload."""
+        return [
+            EmbeddingTableConfig(
+                name=name,
+                num_rows=self.rows_per_table,
+                dim=self.dim,
+                pooling=self.pooling,
+            )
+            for name in self.feature_names
+        ]
+
+    def scaled_tables(self, num_tables: int) -> "WorkloadConfig":
+        """Copy with a different table count (weak-scaling helper)."""
+        return replace(self, num_tables=num_tables)
+
+    def with_batch_size(self, batch_size: int) -> "WorkloadConfig":
+        """Copy with a different batch size (sweep helper)."""
+        return replace(self, batch_size=batch_size)
+
+
+#: Paper §IV-A: per-GPU workload of the weak-scaling test.
+WEAK_SCALING_BASE = WorkloadConfig(
+    num_tables=64, rows_per_table=1_000_000, dim=64, batch_size=16_384, max_pooling=128
+)
+
+#: Paper §IV-B: total workload of the strong-scaling test.
+STRONG_SCALING_TOTAL = WorkloadConfig(
+    num_tables=96, rows_per_table=1_000_000, dim=64, batch_size=16_384, max_pooling=32
+)
+
+
+class SyntheticDataGenerator:
+    """Draws dense + sparse batches for a :class:`WorkloadConfig`."""
+
+    def __init__(self, config: WorkloadConfig):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def reset(self) -> None:
+        """Restart the stream (same seed → same batches again)."""
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- sparse -----------------------------------------------------------------
+
+    def sparse_batch(self, batch_size: Optional[int] = None) -> SparseBatch:
+        """One batch of jagged sparse inputs for every feature."""
+        cfg = self.config
+        B = batch_size or cfg.batch_size
+        cardinality = cfg.raw_cardinality or cfg.rows_per_table
+        fields = {}
+        for name in cfg.feature_names:
+            lengths = self._rng.integers(
+                cfg.min_pooling, cfg.max_pooling + 1, size=B, dtype=np.int64
+            )
+            nnz = int(lengths.sum())
+            indices = self._draw_indices(nnz, cardinality)
+            fields[name] = JaggedField.from_lengths(lengths, indices)
+        return SparseBatch(fields)
+
+    def _draw_indices(self, nnz: int, cardinality: int) -> np.ndarray:
+        cfg = self.config
+        if nnz == 0:
+            return np.empty(0, dtype=np.int64)
+        if cfg.index_distribution == "uniform":
+            return self._rng.integers(0, cardinality, size=nnz, dtype=np.int64)
+        if cfg.index_distribution == "zipf":
+            # Rejection-free: draw Zipf and fold into range (keeps skew).
+            draws = self._rng.zipf(cfg.zipf_alpha, size=nnz)
+            return ((draws - 1) % cardinality).astype(np.int64)
+        raise ValueError(f"unknown index distribution {cfg.index_distribution!r}")
+
+    def lengths_batch(self, batch_size: Optional[int] = None) -> dict:
+        """Pooling factors only: ``{feature: (B,) lengths}``.
+
+        Timing-only runs need just the jagged shape, not the indices — this
+        draws exactly the lengths :meth:`sparse_batch` would (same marginal
+        distribution) without materialising the index arrays, which at
+        paper scale would be ~0.5 GB per batch.
+        """
+        cfg = self.config
+        B = batch_size or cfg.batch_size
+        return {
+            name: self._rng.integers(
+                cfg.min_pooling, cfg.max_pooling + 1, size=B, dtype=np.int64
+            )
+            for name in cfg.feature_names
+        }
+
+    # -- dense ------------------------------------------------------------------
+
+    def dense_batch(self, batch_size: Optional[int] = None) -> np.ndarray:
+        """One batch of continuous features, ``(B, num_dense_features)``."""
+        cfg = self.config
+        B = batch_size or cfg.batch_size
+        return self._rng.uniform(0.0, 1.0, size=(B, cfg.num_dense_features)).astype(
+            np.float32
+        )
+
+    # -- streams ----------------------------------------------------------------
+
+    def batches(self, n: int, batch_size: Optional[int] = None) -> Iterator[tuple]:
+        """Yield ``n`` (dense, sparse) batch pairs — the 100-batch loop."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        for _ in range(n):
+            yield self.dense_batch(batch_size), self.sparse_batch(batch_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        c = self.config
+        return (
+            f"<SyntheticDataGenerator T={c.num_tables} B={c.batch_size} "
+            f"pool[{c.min_pooling},{c.max_pooling}] {c.index_distribution}>"
+        )

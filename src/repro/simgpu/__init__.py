@@ -1,0 +1,79 @@
+"""``repro.simgpu`` — discrete-event multi-GPU system simulator.
+
+The substrate beneath the retrieval backends: devices with a roofline
+kernel cost model, CUDA-style streams/events, an NVLink/PCIe/NIC
+interconnect with FIFO link contention, and a profiler producing the
+span breakdowns and comm-volume counters the paper's figures need.
+"""
+
+from .cluster import Cluster, dgx_v100, multinode, pcie_node
+from .device import A100_SPEC, Device, DeviceSpec, H100_SPEC, V100_SPEC
+from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .interconnect import (
+    Interconnect,
+    Link,
+    LinkSpec,
+    NIC_SPEC,
+    NVLINK_PAIR_SPEC,
+    PCIE_SPEC,
+    Topology,
+    multinode_topology,
+    nvlink_dgx1,
+    pcie_topology,
+    wire_bytes,
+)
+from .kernel import KernelSpec, WaveInfo, execute_kernel, kernel_time, roofline_time
+from .memory import Buffer, MemoryPool, OutOfDeviceMemory
+from .profiler import Counter, Profiler, Span
+from .stream import CudaEvent, Stream, StreamOp
+from .trace import chrome_trace, summarize_spans, write_chrome_trace
+from . import units
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "A100_SPEC",
+    "Buffer",
+    "Cluster",
+    "Counter",
+    "CudaEvent",
+    "Device",
+    "DeviceSpec",
+    "Engine",
+    "Event",
+    "H100_SPEC",
+    "Interconnect",
+    "Interrupt",
+    "KernelSpec",
+    "Link",
+    "LinkSpec",
+    "MemoryPool",
+    "NIC_SPEC",
+    "NVLINK_PAIR_SPEC",
+    "OutOfDeviceMemory",
+    "PCIE_SPEC",
+    "Process",
+    "Profiler",
+    "SimulationError",
+    "Span",
+    "Stream",
+    "StreamOp",
+    "Timeout",
+    "Topology",
+    "V100_SPEC",
+    "WaveInfo",
+    "dgx_v100",
+    "execute_kernel",
+    "kernel_time",
+    "multinode",
+    "multinode_topology",
+    "nvlink_dgx1",
+    "pcie_node",
+    "pcie_topology",
+    "roofline_time",
+    "chrome_trace",
+    "summarize_spans",
+    "units",
+    "write_chrome_trace",
+    "wire_bytes",
+]

@@ -1,0 +1,250 @@
+"""Device memory: accounting allocator and typed buffers.
+
+The simulator tracks memory two ways at once:
+
+* **Accounting** — every allocation debits a per-device byte budget so that
+  paper-scale experiments (64 tables × 1M rows × 64 floats ≈ 16 GiB/GPU)
+  hit the same capacity wall the authors describe, *without* allocating
+  host RAM.  A :class:`Buffer` created with ``materialize=False`` costs only
+  its metadata.
+* **Functional storage** — buffers created with ``materialize=True`` carry a
+  real numpy array, used by the functional layer of the retrieval backends
+  so tests can assert bit-exact outputs.
+
+The allocator is a simple offset-bump with a free list merged by address —
+enough to model fragmentation-free CUDA caching-allocator behaviour while
+keeping invariants easy to property-test (see tests/simgpu/test_memory.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["OutOfDeviceMemory", "Buffer", "MemoryPool"]
+
+
+class OutOfDeviceMemory(MemoryError):
+    """Allocation exceeded the simulated device's HBM capacity."""
+
+    def __init__(self, device_id: int, requested: int, free: int):
+        super().__init__(
+            f"device {device_id}: out of memory "
+            f"(requested {requested} B, {free} B free)"
+        )
+        self.device_id = device_id
+        self.requested = requested
+        self.free = free
+
+
+@dataclass
+class Buffer:
+    """A device allocation.
+
+    Attributes
+    ----------
+    device_id:
+        Owning simulated device.
+    offset:
+        Byte offset within the device heap (stable address for the lifetime
+        of the buffer; used by the PGAS symmetric-heap layer).
+    nbytes:
+        Allocation size.
+    shape / dtype:
+        Logical array view of the buffer.
+    data:
+        Backing numpy array if materialised, else ``None``.
+    label:
+        Free-form tag for profiler output ("emb_table_12", "a2a_recv", ...).
+    """
+
+    device_id: int
+    offset: int
+    nbytes: int
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    data: Optional[np.ndarray] = None
+    label: str = ""
+    freed: bool = False
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the buffer carries real numpy storage."""
+        return self.data is not None
+
+    def array(self) -> np.ndarray:
+        """The backing array; raises if the buffer is metadata-only or freed."""
+        if self.freed:
+            raise ValueError(f"use-after-free of buffer {self.label!r}")
+        if self.data is None:
+            raise ValueError(
+                f"buffer {self.label!r} is not materialized; "
+                "create it with materialize=True for functional use"
+            )
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "mat" if self.materialized else "virt"
+        return (
+            f"<Buffer dev={self.device_id} {self.label!r} {self.shape} "
+            f"{np.dtype(self.dtype).name} {self.nbytes}B {kind}>"
+        )
+
+
+class MemoryPool:
+    """Per-device byte-accounting allocator.
+
+    Maintains a sorted free list of ``(offset, size)`` holes; ``alloc`` is
+    first-fit, ``free`` coalesces neighbours.  Invariants (property-tested):
+
+    * sum(free holes) + sum(live allocations) == capacity
+    * holes are disjoint, sorted, and non-adjacent (always coalesced)
+    * live allocations never overlap
+    """
+
+    def __init__(self, capacity: int, device_id: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.device_id = device_id
+        self._holes: List[Tuple[int, int]] = [(0, self.capacity)]  # (offset, size)
+        self._live: Dict[int, Buffer] = {}  # offset -> Buffer
+        self.peak_used = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated."""
+        return self.capacity - self.free_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently free."""
+        return sum(size for _, size in self._holes)
+
+    @property
+    def num_allocations(self) -> int:
+        """Count of live buffers."""
+        return len(self._live)
+
+    def live_buffers(self) -> List[Buffer]:
+        """Snapshot of live buffers sorted by address."""
+        return [self._live[o] for o in sorted(self._live)]
+
+    # -- alloc / free --------------------------------------------------------------
+
+    def alloc(
+        self,
+        shape: Tuple[int, ...],
+        dtype: np.dtype = np.dtype(np.float32),
+        *,
+        materialize: bool = False,
+        label: str = "",
+        fill: Optional[float] = None,
+    ) -> Buffer:
+        """Allocate a buffer for an array of ``shape``/``dtype``.
+
+        ``materialize=True`` attaches a real numpy array (zero-initialised,
+        or ``fill``-initialised).  Raises :class:`OutOfDeviceMemory` when the
+        accounting budget is exhausted.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(d) for d in shape)
+        if any(d < 0 for d in shape):
+            raise ValueError(f"negative dimension in shape {shape}")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        offset = self._take_hole(nbytes)
+        data: Optional[np.ndarray] = None
+        if materialize:
+            data = np.zeros(shape, dtype=dtype)
+            if fill is not None:
+                data[...] = fill
+        buf = Buffer(
+            device_id=self.device_id,
+            offset=offset,
+            nbytes=nbytes,
+            shape=shape,
+            dtype=dtype,
+            data=data,
+            label=label,
+        )
+        self._live[offset] = buf
+        self.peak_used = max(self.peak_used, self.used)
+        return buf
+
+    def free(self, buf: Buffer) -> None:
+        """Return a buffer's bytes to the pool; double-free raises."""
+        if buf.freed:
+            raise ValueError(f"double free of buffer {buf.label!r}")
+        if self._live.get(buf.offset) is not buf:
+            raise ValueError(f"buffer {buf.label!r} does not belong to this pool")
+        del self._live[buf.offset]
+        buf.freed = True
+        buf.data = None
+        self._insert_hole(buf.offset, buf.nbytes)
+
+    def reset(self) -> None:
+        """Free everything (device reset)."""
+        for buf in list(self._live.values()):
+            self.free(buf)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _take_hole(self, nbytes: int) -> int:
+        """First-fit: carve ``nbytes`` out of the free list."""
+        if nbytes == 0:
+            # Zero-size allocations get a unique non-conflicting pseudo-offset
+            # just past any live allocation; they consume no budget.
+            nbytes_max = max((b.offset + b.nbytes for b in self._live.values()), default=0)
+            offset = nbytes_max
+            while offset in self._live:
+                offset += 1
+            return offset
+        for i, (offset, size) in enumerate(self._holes):
+            if size >= nbytes:
+                if size == nbytes:
+                    del self._holes[i]
+                else:
+                    self._holes[i] = (offset + nbytes, size - nbytes)
+                return offset
+        raise OutOfDeviceMemory(self.device_id, nbytes, self.free_bytes)
+
+    def _insert_hole(self, offset: int, nbytes: int) -> None:
+        """Insert a hole, merging with adjacent holes."""
+        if nbytes == 0:
+            return
+        holes = self._holes
+        # binary-search insertion point by offset
+        lo, hi = 0, len(holes)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if holes[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        holes.insert(lo, (offset, nbytes))
+        # merge with next
+        if lo + 1 < len(holes):
+            o, s = holes[lo]
+            no, ns_ = holes[lo + 1]
+            if o + s == no:
+                holes[lo] = (o, s + ns_)
+                del holes[lo + 1]
+        # merge with previous
+        if lo > 0:
+            po, ps = holes[lo - 1]
+            o, s = holes[lo]
+            if po + ps == o:
+                holes[lo - 1] = (po, ps + s)
+                del holes[lo]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MemoryPool dev={self.device_id} used={self.used}/{self.capacity}B "
+            f"allocs={len(self._live)}>"
+        )

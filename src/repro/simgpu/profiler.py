@@ -1,0 +1,184 @@
+"""Timeline profiler: spans, counters, and comm-volume sampling.
+
+Two instruments matter for the paper's evaluation:
+
+* **Spans** — named intervals (kernel, collective, unpack, sync) per device,
+  from which the runtime breakdowns of Figs. 6 and 9 are computed.
+* **Counters** — monotonically accumulating quantities stamped with the
+  simulation time at which they changed.  The communication counter
+  reproduces the paper's instrument for Figs. 7 and 10: "with each RDMA
+  write, that thread also atomically adds to that counter ... sequential
+  reads of the communication counter show the communication volume over
+  time" (§IV-A2b).  :meth:`Counter.sample` re-reads the counter on a fixed
+  period, exactly like the paper's every-hundred-GPU-clock-cycles poll.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Span", "Counter", "Profiler"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on the timeline."""
+
+    name: str
+    category: str
+    device_id: int
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        """Span length in nanoseconds."""
+        return self.t_end - self.t_start
+
+
+class Counter:
+    """A time-stamped cumulative counter.
+
+    ``add(t, delta)`` must be called with non-decreasing ``t`` *per caller*;
+    out-of-order stamps from independent devices are merged on read.
+    """
+
+    def __init__(self, name: str, unit: str = "bytes"):
+        self.name = name
+        self.unit = unit
+        self._events: List[Tuple[float, float]] = []  # (time, delta)
+        self._sorted = True
+
+    def add(self, t: float, delta: float) -> None:
+        """Record ``delta`` units at simulation time ``t``."""
+        if self._events and t < self._events[-1][0]:
+            self._sorted = False
+        self._events.append((t, delta))
+
+    @property
+    def total(self) -> float:
+        """Grand total accumulated."""
+        return sum(d for _, d in self._events)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._events.sort(key=lambda e: e[0])
+            self._sorted = True
+
+    def value_at(self, t: float) -> float:
+        """Cumulative value at time ``t`` (inclusive)."""
+        self._ensure_sorted()
+        total = 0.0
+        for et, d in self._events:
+            if et > t:
+                break
+            total += d
+        return total
+
+    def sample(
+        self, t_start: float, t_end: float, period: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Poll the counter every ``period`` ns over ``[t_start, t_end]``.
+
+        Returns ``(times, cumulative_values)`` — the paper's Figs. 7/10
+        series.  The final sample lands exactly on ``t_end``.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if t_end < t_start:
+            raise ValueError("t_end < t_start")
+        self._ensure_sorted()
+        times = np.arange(t_start, t_end, period, dtype=np.float64)
+        times = np.append(times, t_end)
+        if self._events:
+            ev_t = np.array([e[0] for e in self._events])
+            ev_c = np.cumsum([e[1] for e in self._events])
+            idx = np.searchsorted(ev_t, times, side="right") - 1
+            vals = np.where(idx >= 0, ev_c[np.maximum(idx, 0)], 0.0)
+        else:
+            vals = np.zeros_like(times)
+        return times, vals
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name!r} total={self.total:.0f}{self.unit}>"
+
+
+class Profiler:
+    """Collects spans and counters for one simulated run."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.counters: Dict[str, Counter] = {}
+        self.enabled = True
+
+    # -- spans -------------------------------------------------------------------
+
+    def record_span(
+        self, name: str, category: str, device_id: int, t_start: float, t_end: float
+    ) -> None:
+        """Append a finished span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if t_end < t_start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self.spans.append(Span(name, category, device_id, t_start, t_end))
+
+    def spans_by_category(self, category: str, device_id: Optional[int] = None) -> List[Span]:
+        """All spans of ``category`` (optionally restricted to one device)."""
+        return [
+            s
+            for s in self.spans
+            if s.category == category and (device_id is None or s.device_id == device_id)
+        ]
+
+    def category_time(self, category: str, device_id: Optional[int] = None) -> float:
+        """Total duration of all spans of ``category`` (per device if given)."""
+        return sum(s.duration for s in self.spans_by_category(category, device_id))
+
+    def category_wall_time(self, category: str) -> float:
+        """Wall-clock extent (union, merged) of a category across devices.
+
+        Overlapping spans are merged so concurrent per-device work counts
+        once — this is what the paper's per-phase wall times report.
+        """
+        spans = sorted(self.spans_by_category(category), key=lambda s: s.t_start)
+        total = 0.0
+        cur_start: Optional[float] = None
+        cur_end = 0.0
+        for s in spans:
+            if cur_start is None:
+                cur_start, cur_end = s.t_start, s.t_end
+            elif s.t_start <= cur_end:
+                cur_end = max(cur_end, s.t_end)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = s.t_start, s.t_end
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    # -- counters ----------------------------------------------------------------
+
+    def counter(self, name: str, unit: str = "bytes") -> Counter:
+        """Get (creating on first use) a named counter."""
+        c = self.counters.get(name)
+        if c is None:
+            c = Counter(name, unit)
+            self.counters[name] = c
+        return c
+
+    def add_count(self, name: str, t: float, delta: float, unit: str = "bytes") -> None:
+        """Convenience: ``counter(name).add(t, delta)`` honouring ``enabled``."""
+        if self.enabled:
+            self.counter(name, unit).add(t, delta)
+
+    # -- reset -------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop all recorded spans and counters."""
+        self.spans.clear()
+        self.counters.clear()

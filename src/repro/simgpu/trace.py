@@ -1,0 +1,95 @@
+"""Timeline export: Chrome trace JSON and span summaries.
+
+``chrome_trace`` converts a :class:`~repro.simgpu.profiler.Profiler`'s
+spans and counters into the Trace Event Format consumed by
+``chrome://tracing`` / Perfetto — one row per device (plus one per named
+category for device-less spans like collectives), counters as counter
+events.  Handy for eyeballing exactly how the PGAS kernel's waves overlap
+the interconnect traffic.
+
+``summarize_spans`` renders the per-category totals as a text table for
+quick terminal inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .profiler import Profiler, Span
+from .units import to_us
+
+__all__ = ["chrome_trace", "write_chrome_trace", "summarize_spans"]
+
+
+def _span_event(span: Span) -> Dict[str, Any]:
+    """One complete ('X') trace event; times in microseconds."""
+    pid = span.device_id if span.device_id >= 0 else 9999
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": to_us(span.t_start),
+        "dur": to_us(span.duration),
+        "pid": pid,
+        "tid": 0,
+        "args": {"category": span.category},
+    }
+
+
+def chrome_trace(
+    profiler: Profiler,
+    *,
+    counters: bool = True,
+    counter_period_ns: float = 10_000.0,
+) -> Dict[str, Any]:
+    """Build a Trace-Event-Format dict from recorded spans and counters."""
+    events: List[Dict[str, Any]] = []
+    device_ids = set()
+    for span in profiler.spans:
+        events.append(_span_event(span))
+        device_ids.add(span.device_id if span.device_id >= 0 else 9999)
+
+    # Process name metadata rows.
+    for pid in sorted(device_ids):
+        name = f"GPU {pid}" if pid != 9999 else "host / fabric"
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+
+    if counters and profiler.counters:
+        t_end = max((s.t_end for s in profiler.spans), default=0.0)
+        for cname, counter in profiler.counters.items():
+            if "." in cname:  # skip per-pair sub-counters: too many rows
+                continue
+            if t_end <= 0:
+                continue
+            times, vals = counter.sample(0.0, t_end, counter_period_ns)
+            for t, v in zip(times, vals):
+                events.append(
+                    {"name": cname, "ph": "C", "ts": to_us(t), "pid": 9999,
+                     "args": {cname: float(v)}}
+                )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(profiler: Profiler, path: str, **kwargs: Any) -> None:
+    """Serialise :func:`chrome_trace` to a file for chrome://tracing."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(profiler, **kwargs), fh)
+
+
+def summarize_spans(profiler: Profiler) -> str:
+    """Per-category totals (sum and merged wall time) as a text table."""
+    categories = sorted({s.category for s in profiler.spans})
+    lines = [f"{'category':16s} {'spans':>6s} {'sum (us)':>12s} {'wall (us)':>12s}"]
+    for cat in categories:
+        spans = profiler.spans_by_category(cat)
+        lines.append(
+            f"{cat:16s} {len(spans):6d} "
+            f"{to_us(profiler.category_time(cat)):12.1f} "
+            f"{to_us(profiler.category_wall_time(cat)):12.1f}"
+        )
+    return "\n".join(lines)

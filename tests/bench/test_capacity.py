@@ -1,0 +1,44 @@
+"""Tests for the capacity-growth study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.capacity import run_capacity_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    # small rows so the functional-side stays light; growth still forces
+    # multiple GPUs by table count x 1M rows
+    return run_capacity_study(base_tables=32, steps=3, growth_per_step=2.0,
+                              batch_size=4096)
+
+
+class TestCapacityStudy:
+    def test_growth_projection(self, study):
+        tables = [p.num_tables for p in study.points]
+        assert tables == [32, 64, 128]
+        gib = [p.total_gib for p in study.points]
+        assert gib == sorted(gib)
+
+    def test_gpu_count_grows_with_memory(self, study):
+        gpus = [p.min_gpus for p in study.points]
+        assert gpus == sorted(gpus)
+        assert gpus[-1] > 1  # 128 tables x 1M x 64 floats > one V100
+
+    def test_pgas_wins_once_distributed(self, study):
+        for p in study.points:
+            if p.min_gpus > 1:
+                assert p.speedup > 1.2
+
+    def test_render(self, study):
+        out = study.render()
+        assert "capacity study" in out
+        assert "min GPUs" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_capacity_study(steps=0)
+        with pytest.raises(ValueError):
+            run_capacity_study(growth_per_step=1.0)

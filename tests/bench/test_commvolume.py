@@ -1,0 +1,88 @@
+"""Tests for the comm-volume-over-time instrument (Figs. 7/10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.commvolume import UNIT_BYTES, CommVolumeTrace, trace_comm_volume
+from repro.dlrm.data import WorkloadConfig
+from repro.simgpu.units import us
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    # Wave-rich so PGAS messages spread over the kernel.
+    return WorkloadConfig(num_tables=64, rows_per_table=1000, dim=64,
+                          batch_size=16384, max_pooling=64, seed=4)
+
+
+@pytest.fixture(scope="module")
+def pgas_trace(cfg):
+    return trace_comm_volume(cfg, 2, "pgas", sample_period_ns=20 * us)
+
+
+@pytest.fixture(scope="module")
+def baseline_trace(cfg):
+    return trace_comm_volume(cfg, 2, "baseline", sample_period_ns=20 * us)
+
+
+class TestTraceStructure:
+    def test_times_start_at_zero_end_at_total(self, pgas_trace):
+        assert pgas_trace.times_ns[0] == 0.0
+        assert pgas_trace.times_ns[-1] == pytest.approx(pgas_trace.total_ns)
+
+    def test_volume_monotone_cumulative(self, pgas_trace, baseline_trace):
+        for tr in (pgas_trace, baseline_trace):
+            assert np.all(np.diff(tr.volume_units) >= 0)
+
+    def test_both_backends_move_same_payload(self, pgas_trace, baseline_trace):
+        assert pgas_trace.total_units == pytest.approx(baseline_trace.total_units)
+
+    def test_total_units_are_256B_messages(self, pgas_trace, cfg):
+        # remote volume = B/2 x T x 256 B → in units of 256 B
+        expected = (cfg.batch_size / 2) * cfg.num_tables * 256 / UNIT_BYTES
+        assert pgas_trace.total_units == pytest.approx(expected)
+
+    def test_normalized_in_unit_box(self, pgas_trace):
+        t, v = pgas_trace.normalized()
+        assert t[0] == 0.0 and t[-1] == pytest.approx(1.0)
+        assert v[-1] == pytest.approx(1.0)
+
+
+class TestPaperShapes:
+    def test_baseline_has_long_flat_prefix(self, baseline_trace):
+        """'a long initial period when communication volume stays flat at 0'."""
+        assert baseline_trace.flat_prefix_fraction() > 0.3
+
+    def test_pgas_starts_almost_immediately(self, pgas_trace):
+        assert pgas_trace.flat_prefix_fraction() < 0.15
+
+    def test_pgas_roughly_linear_over_run(self, pgas_trace):
+        """Mid-run volume is near mid-total: messages spread across waves."""
+        t, v = pgas_trace.normalized()
+        mid = v[np.searchsorted(t, 0.5)]
+        assert 0.25 < mid < 0.75
+
+    def test_baseline_backloaded(self, baseline_trace):
+        t, v = baseline_trace.normalized()
+        mid = v[np.searchsorted(t, 0.5)]
+        assert mid < 0.2
+
+    def test_pgas_run_is_shorter(self, pgas_trace, baseline_trace):
+        assert pgas_trace.total_ns < baseline_trace.total_ns
+
+
+class TestEdgeCases:
+    def test_single_gpu_no_volume(self, cfg):
+        tr = trace_comm_volume(cfg, 1, "pgas")
+        assert tr.total_units == 0.0
+        assert tr.flat_prefix_fraction() == 1.0
+
+    def test_empty_trace_normalization_safe(self):
+        tr = CommVolumeTrace(
+            backend="pgas", n_devices=1, total_ns=0.0,
+            times_ns=np.array([]), volume_units=np.array([]),
+        )
+        t, v = tr.normalized()
+        assert t.size == 0 and tr.total_units == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the overlap-analysis instrument."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.overlap import OverlapReport, analyze_overlap, measure_overlap
+from repro.dlrm.data import WorkloadConfig
+from repro.simgpu.profiler import Profiler
+
+
+def wave_rich_config():
+    return WorkloadConfig(num_tables=64, rows_per_table=1000, dim=64,
+                          batch_size=16384, max_pooling=64, seed=4)
+
+
+class TestAnalyze:
+    def test_synthetic_half_hidden(self):
+        p = Profiler()
+        p.record_span("k", "compute", 0, 0.0, 100.0)
+        p.add_count("comm_bytes", 50.0, 10.0)   # inside compute
+        p.add_count("comm_bytes", 200.0, 10.0)  # after compute
+        r = analyze_overlap(p)
+        assert r.total_comm_bytes == 20.0
+        assert r.hidden_comm_bytes == 10.0
+        assert r.hidden_fraction == pytest.approx(0.5)
+        assert r.exposed_comm_bytes == 10.0
+
+    def test_fused_category_counts_as_compute(self):
+        p = Profiler()
+        p.record_span("f", "fused", -1, 0.0, 100.0)
+        p.add_count("pgas_bytes", 40.0, 5.0)
+        assert analyze_overlap(p).hidden_fraction == 1.0
+
+    def test_no_comm_is_fully_hidden(self):
+        p = Profiler()
+        p.record_span("k", "compute", 0, 0.0, 10.0)
+        assert analyze_overlap(p).hidden_fraction == 1.0
+
+    def test_overlapping_spans_merged(self):
+        p = Profiler()
+        p.record_span("a", "compute", 0, 0.0, 60.0)
+        p.record_span("b", "compute", 1, 40.0, 100.0)
+        r = analyze_overlap(p)
+        assert r.compute_wall_ns == pytest.approx(100.0)
+
+    def test_summary(self):
+        r = OverlapReport(100.0, 90.0, 1e6, 2e6)
+        assert "90.0%" in r.summary()
+
+
+class TestMeasure:
+    def test_pgas_hides_nearly_everything(self):
+        r = measure_overlap(wave_rich_config(), 2, "pgas")
+        assert r.total_comm_bytes > 0
+        assert r.hidden_fraction > 0.9
+
+    def test_baseline_hides_nothing(self):
+        r = measure_overlap(wave_rich_config(), 2, "baseline")
+        assert r.total_comm_bytes > 0
+        assert r.hidden_fraction < 0.05
+
+    def test_single_gpu_trivial(self):
+        r = measure_overlap(wave_rich_config(), 1, "pgas")
+        assert r.total_comm_bytes == 0
+        assert r.hidden_fraction == 1.0

@@ -1,0 +1,61 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report_md import (
+    breakdown_section,
+    build_report,
+    commvolume_section,
+    md_table,
+    scaling_section,
+)
+from repro.bench.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(n_batches=1, scale=0.05, device_counts=(1, 2))
+
+
+class TestMdTable:
+    def test_structure(self):
+        out = md_table(["a", "b"], [["1", "2"]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestSections:
+    def test_scaling_section_has_paper_columns(self, runner):
+        out = scaling_section(runner.weak())
+        assert "2.10×" in out  # the paper's 2-GPU weak speedup
+        assert "measured" in out
+        assert "geomean" in out
+
+    def test_breakdown_section(self, runner):
+        out = breakdown_section(runner.fig6())
+        assert "Fig. 6" in out
+        assert "sync+unpack" in out
+
+    def test_commvolume_section(self, runner):
+        out = commvolume_section(runner.fig7(), "Fig. 7")
+        assert "flat-at-zero" in out
+        assert "pgas" in out and "baseline" in out
+
+
+class TestFullReport:
+    def test_contains_all_artifacts(self, runner):
+        report = build_report(runner)
+        for marker in ("Weak scaling", "Strong scaling", "Fig. 6", "Fig. 7",
+                       "Fig. 9", "Fig. 10", "1.97×", "2.63×"):
+            assert marker in report
+
+    def test_is_valid_markdown_tables(self, runner):
+        report = build_report(runner)
+        # every table line is pipe-delimited and balanced
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")

@@ -1,0 +1,113 @@
+"""Tests for the scaling experiment drivers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.scaling import (
+    ScalingResult,
+    geomean,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+from repro.dlrm.data import WorkloadConfig
+
+
+def small_weak():
+    return WorkloadConfig(num_tables=8, rows_per_table=1000, dim=16,
+                          batch_size=1024, max_pooling=8, seed=1)
+
+
+def small_strong():
+    # Strong scaling needs a comm-heavy shape (low pooling, real batch) for
+    # the paper's multi-GPU slowdown to appear; tiny toys parallelise fine.
+    return WorkloadConfig(num_tables=24, rows_per_table=1000, dim=64,
+                          batch_size=8192, max_pooling=8, seed=1)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([7.0]) == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_weak_scaling(small_weak(), device_counts=(1, 2, 4), n_batches=2)
+
+    def test_points_and_counts(self, result):
+        assert result.kind == "weak"
+        assert result.device_counts == [1, 2, 4]
+        assert result.point(2).n_devices == 2
+        with pytest.raises(KeyError):
+            result.point(3)
+
+    def test_batches_accumulated(self, result):
+        assert result.point(1).baseline.batches == 2
+        assert result.point(1).pgas.batches == 2
+
+    def test_pgas_wins_multi_gpu(self, result):
+        for g in (2, 4):
+            assert result.point(g).speedup > 1.0
+
+    def test_speedup_table_excludes_single_gpu(self, result):
+        assert set(result.speedup_table()) == {2, 4}
+
+    def test_geomean_consistent(self, result):
+        table = result.speedup_table()
+        expect = math.exp(sum(math.log(v) for v in table.values()) / len(table))
+        assert result.geomean_speedup == pytest.approx(expect)
+
+    def test_scaling_factor_definition(self, result):
+        f = result.scaling_factor("baseline", 2)
+        assert f == pytest.approx(
+            result.total_ns("baseline", 1) / result.total_ns("baseline", 2)
+        )
+
+    def test_pgas_weak_factor_near_ideal(self, result):
+        """PGAS's weak scaling stays near 1 — the paper's headline."""
+        for g in (2, 4):
+            assert result.scaling_factor("pgas", g) > 0.8
+            assert result.scaling_factor("baseline", g) < result.scaling_factor("pgas", g)
+
+
+class TestStrongScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_strong_scaling(small_strong(), device_counts=(1, 2, 4), n_batches=2)
+
+    def test_kind(self, result):
+        assert result.kind == "strong"
+
+    def test_pgas_beats_baseline(self, result):
+        for g in (2, 4):
+            assert result.point(g).speedup > 1.0
+
+    def test_baseline_slows_down_with_gpus(self, result):
+        """Paper: baseline multi-GPU is slower than its own single GPU."""
+        for g in (2, 4):
+            assert result.scaling_factor("baseline", g) < 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = run_weak_scaling(small_weak(), device_counts=(2,), n_batches=2, seed=5)
+        b = run_weak_scaling(small_weak(), device_counts=(2,), n_batches=2, seed=5)
+        assert a.point(2).baseline.total_ns == b.point(2).baseline.total_ns
+        assert a.point(2).pgas.total_ns == b.point(2).pgas.total_ns
+
+    def test_different_seed_different_inputs(self):
+        a = run_weak_scaling(small_weak(), device_counts=(2,), n_batches=1, seed=5)
+        b = run_weak_scaling(small_weak(), device_counts=(2,), n_batches=1, seed=6)
+        assert a.point(2).baseline.total_ns != b.point(2).baseline.total_ns

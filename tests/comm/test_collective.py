@@ -1,0 +1,241 @@
+"""Tests for the NCCL-style collective layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.collective import CollectiveContext, CollectiveSpec
+from repro.simgpu import dgx_v100
+from repro.simgpu.interconnect import Interconnect
+from repro.simgpu.units import MiB, us
+
+
+def run_collective(cluster, start_fn):
+    """Drive a collective to completion inside a host process."""
+
+    def host(cl):
+        handle = start_fn()
+        yield from handle.wait()
+        return handle
+
+    cluster.run(host)
+
+
+def fast_spec(**kw):
+    """A spec with zero control overheads for pure-transfer arithmetic."""
+    defaults = dict(
+        chunk_bytes=4 * MiB,
+        launch_overhead_ns=0.0,
+        per_chunk_header_bytes=0,
+        wait_overhead_ns=0.0,
+        bandwidth_efficiency=1.0,
+    )
+    defaults.update(kw)
+    return CollectiveSpec(**defaults)
+
+
+class TestSpec:
+    def test_defaults_validated(self):
+        with pytest.raises(ValueError):
+            CollectiveSpec(chunk_bytes=0)
+        with pytest.raises(ValueError):
+            CollectiveSpec(bandwidth_efficiency=0.0)
+        with pytest.raises(ValueError):
+            CollectiveSpec(bandwidth_efficiency=1.5)
+        with pytest.raises(ValueError):
+            CollectiveSpec(launch_overhead_ns=-1.0)
+
+    def test_default_efficiency_is_calibrated(self):
+        from repro.core.calibration import NCCL_ALLTOALL_EFFICIENCY
+
+        assert CollectiveSpec().bandwidth_efficiency == NCCL_ALLTOALL_EFFICIENCY
+
+
+class TestAllToAll:
+    def test_split_shape_validated(self):
+        cl = dgx_v100(2)
+        ctx = CollectiveContext(cl)
+        with pytest.raises(ValueError, match="split_bytes"):
+            ctx.all_to_all_single(np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="non-negative"):
+            ctx.all_to_all_single(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_transfer_time_matches_alpha_beta(self):
+        cl = dgx_v100(2)
+        ctx = CollectiveContext(cl, fast_spec())
+        bw = cl.topology.link_spec(0, 1).bandwidth
+        lat = cl.topology.link_spec(0, 1).latency_ns
+        nbytes = 2 * MiB  # single chunk
+        split = np.array([[0.0, nbytes], [0.0, 0.0]])
+        run_collective(cl, lambda: ctx.all_to_all_single(split))
+        assert cl.engine.now == pytest.approx(nbytes / bw + lat)
+
+    def test_launch_and_wait_overheads_charged(self):
+        cl = dgx_v100(2)
+        spec = fast_spec(launch_overhead_ns=30 * us, wait_overhead_ns=8 * us)
+        ctx = CollectiveContext(cl, spec)
+        run_collective(cl, lambda: ctx.all_to_all_single(np.zeros((2, 2))))
+        assert cl.engine.now == pytest.approx(38 * us)
+
+    def test_diagonal_is_free(self):
+        cl = dgx_v100(2)
+        ctx = CollectiveContext(cl, fast_spec())
+        split = np.array([[1e9, 0.0], [0.0, 1e9]])  # only local shares
+        run_collective(cl, lambda: ctx.all_to_all_single(split))
+        assert cl.profiler.counter(Interconnect.COUNTER).total == 0.0
+
+    def test_counter_gets_all_offdiagonal_bytes(self):
+        cl = dgx_v100(3)
+        ctx = CollectiveContext(cl, fast_spec())
+        split = np.arange(9, dtype=np.float64).reshape(3, 3) * 1000
+        run_collective(cl, lambda: ctx.all_to_all_single(split))
+        expected = split.sum() - np.trace(split)
+        assert cl.profiler.counter(Interconnect.COUNTER).total == pytest.approx(expected)
+
+    def test_efficiency_derate_slows_transfer(self):
+        nbytes = 4 * MiB
+        split = np.array([[0.0, float(nbytes)], [0.0, 0.0]])
+
+        cl_fast = dgx_v100(2)
+        run_collective(
+            cl_fast, lambda: CollectiveContext(cl_fast, fast_spec()).all_to_all_single(split)
+        )
+        cl_slow = dgx_v100(2)
+        run_collective(
+            cl_slow,
+            lambda: CollectiveContext(
+                cl_slow, fast_spec(bandwidth_efficiency=0.25)
+            ).all_to_all_single(split),
+        )
+        # 4x less efficient → ~4x the wire time (latency charged once each)
+        lat = cl_fast.topology.link_spec(0, 1).latency_ns
+        assert (cl_slow.engine.now - lat) == pytest.approx(4 * (cl_fast.engine.now - lat), rel=0.01)
+
+    def test_chunking_produces_progressive_delivery(self):
+        cl = dgx_v100(2)
+        ctx = CollectiveContext(cl, fast_spec(chunk_bytes=1 * MiB))
+        split = np.array([[0.0, float(4 * MiB)], [0.0, 0.0]])
+        run_collective(cl, lambda: ctx.all_to_all_single(split))
+        counter = cl.profiler.counter(Interconnect.COUNTER)
+        # 4 chunks → 4 distinct delivery stamps
+        assert len(counter._events) == 4
+        times = sorted(t for t, _ in counter._events)
+        assert times[0] < times[-1]
+
+    def test_handle_completion_flags(self):
+        cl = dgx_v100(2)
+        ctx = CollectiveContext(cl, fast_spec())
+        split = np.array([[0.0, 1000.0], [1000.0, 0.0]])
+
+        def host(cluster):
+            handle = ctx.all_to_all_single(split)
+            assert not handle.is_completed
+            yield from handle.wait()
+            assert handle.is_completed
+            assert handle.completed_at is not None
+            assert handle.completed_at >= handle.issued_at
+
+        cl.run(host)
+
+
+class TestOtherCollectives:
+    def test_all_gather_volume(self):
+        cl = dgx_v100(3)
+        ctx = CollectiveContext(cl, fast_spec())
+        run_collective(cl, lambda: ctx.all_gather([100.0, 200.0, 300.0]))
+        # each rank sends its contribution to 2 peers
+        expected = 2 * (100 + 200 + 300)
+        assert cl.profiler.counter(Interconnect.COUNTER).total == pytest.approx(expected)
+
+    def test_all_gather_wrong_count(self):
+        ctx = CollectiveContext(dgx_v100(2), fast_spec())
+        with pytest.raises(ValueError):
+            ctx.all_gather([1.0])
+
+    def test_all_reduce_ring_volume(self):
+        G = 4
+        cl = dgx_v100(G)
+        ctx = CollectiveContext(cl, fast_spec())
+        total = 1000.0 * G  # divisible
+        run_collective(cl, lambda: ctx.all_reduce(total))
+        # ring: 2 * (G-1) * total/G per rank, G ranks
+        expected = 2 * (G - 1) * (total / G) * G
+        assert cl.profiler.counter(Interconnect.COUNTER).total == pytest.approx(expected)
+
+    def test_reduce_scatter_half_of_allreduce(self):
+        G = 4
+        total = 4000.0
+        cl1 = dgx_v100(G)
+        run_collective(cl1, lambda: CollectiveContext(cl1, fast_spec()).reduce_scatter(total))
+        cl2 = dgx_v100(G)
+        run_collective(cl2, lambda: CollectiveContext(cl2, fast_spec()).all_reduce(total))
+        v1 = cl1.profiler.counter(Interconnect.COUNTER).total
+        v2 = cl2.profiler.counter(Interconnect.COUNTER).total
+        assert v2 == pytest.approx(2 * v1)
+
+    def test_negative_volume_rejected(self):
+        ctx = CollectiveContext(dgx_v100(2), fast_spec())
+        with pytest.raises(ValueError):
+            ctx.all_reduce(-1.0)
+        with pytest.raises(ValueError):
+            ctx.reduce_scatter(-1.0)
+
+    def test_barrier_is_cheap_but_not_free(self):
+        cl = dgx_v100(2)
+        ctx = CollectiveContext(cl)
+        run_collective(cl, lambda: ctx.barrier())
+        assert 0 < cl.engine.now < 100 * us
+
+
+class TestAlltoallAlgorithms:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="alltoall_algorithm"):
+            CollectiveSpec(alltoall_algorithm="bruck")
+
+    def test_pairwise_moves_same_bytes(self):
+        split = np.full((4, 4), 3 * MiB, dtype=float)
+        np.fill_diagonal(split, 0.0)
+        totals = {}
+        for algo in ("direct", "pairwise"):
+            cl = dgx_v100(4)
+            ctx = CollectiveContext(cl, fast_spec(alltoall_algorithm=algo))
+            run_collective(cl, lambda c=ctx: c.all_to_all_single(split))
+            totals[algo] = cl.profiler.counter(Interconnect.COUNTER).total
+        assert totals["direct"] == pytest.approx(totals["pairwise"])
+        assert totals["direct"] == pytest.approx(12 * 3 * MiB)
+
+    def test_pairwise_rounds_serialise(self):
+        """Round barriers make pairwise slower than direct on NVLink."""
+        split = np.full((4, 4), 8 * MiB, dtype=float)
+        np.fill_diagonal(split, 0.0)
+        times = {}
+        for algo in ("direct", "pairwise"):
+            cl = dgx_v100(4)
+            ctx = CollectiveContext(cl, fast_spec(alltoall_algorithm=algo))
+            run_collective(cl, lambda c=ctx: c.all_to_all_single(split))
+            times[algo] = cl.engine.now
+        # direct: all 12 transfers on disjoint links in parallel (~1 round);
+        # pairwise: 3 synchronised rounds.
+        assert times["pairwise"] > 2.5 * times["direct"]
+
+    def test_pairwise_round_structure_in_counter(self):
+        """Deliveries cluster into G-1 distinct round instants."""
+        split = np.full((3, 3), 2 * MiB, dtype=float)
+        np.fill_diagonal(split, 0.0)
+        cl = dgx_v100(3)
+        ctx = CollectiveContext(cl, fast_spec(alltoall_algorithm="pairwise"))
+        run_collective(cl, lambda: ctx.all_to_all_single(split))
+        counter = cl.profiler.counter(Interconnect.COUNTER)
+        stamps = sorted({t for t, _ in counter._events})
+        assert len(stamps) == 2  # G-1 = 2 rounds, uniform sizes
+
+    def test_pairwise_two_gpus_equals_direct(self):
+        split = np.array([[0.0, float(2 * MiB)], [float(2 * MiB), 0.0]])
+        times = {}
+        for algo in ("direct", "pairwise"):
+            cl = dgx_v100(2)
+            ctx = CollectiveContext(cl, fast_spec(alltoall_algorithm=algo))
+            run_collective(cl, lambda c=ctx: c.all_to_all_single(split))
+            times[algo] = cl.engine.now
+        assert times["pairwise"] == pytest.approx(times["direct"], rel=1e-6)

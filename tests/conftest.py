@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dlrm import (
+    EmbeddingBagCollection,
+    SyntheticDataGenerator,
+    WorkloadConfig,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for weight/test-data generation."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_config() -> WorkloadConfig:
+    """A workload small enough to materialise and compare exactly."""
+    return WorkloadConfig(
+        num_tables=6,
+        rows_per_table=50,
+        dim=8,
+        batch_size=33,
+        max_pooling=5,
+        min_pooling=0,
+        num_dense_features=4,
+        seed=99,
+    )
+
+
+@pytest.fixture
+def tiny_batch(tiny_config):
+    """One sparse batch drawn from the tiny workload."""
+    return SyntheticDataGenerator(tiny_config).sparse_batch()
+
+
+@pytest.fixture
+def tiny_ebc(tiny_config, rng) -> EmbeddingBagCollection:
+    """Materialised tables for the tiny workload."""
+    return EmbeddingBagCollection.from_configs(tiny_config.table_configs(), rng=rng)

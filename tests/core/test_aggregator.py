@@ -1,0 +1,160 @@
+"""Tests for the asynchronous message aggregator (paper §V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.pgas import PGASContext, PGASSpec
+from repro.core.aggregator import AggregatorSpec, AsyncAggregator
+from repro.simgpu import dgx_v100
+from repro.simgpu.units import KiB, us
+
+
+def make(flush_bytes=10_000, max_wait_ns=1e6, n_devices=2):
+    cl = dgx_v100(n_devices)
+    pgas = PGASContext(cl)
+    agg = AsyncAggregator(pgas, AggregatorSpec(
+        flush_bytes=flush_bytes, max_wait_ns=max_wait_ns,
+    ))
+    return cl, pgas, agg
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregatorSpec(flush_bytes=0)
+        with pytest.raises(ValueError):
+            AggregatorSpec(max_wait_ns=0)
+        with pytest.raises(ValueError):
+            AggregatorSpec(flushed_message_bytes=0)
+
+
+class TestStore:
+    def test_accumulates_below_threshold(self):
+        cl, _, agg = make(flush_bytes=10_000)
+        agg.store(0, 1, 3000)
+        agg.store(0, 1, 3000)
+        assert agg.pending_bytes(0, 1) == 6000
+        assert agg.flushes == 0
+
+    def test_size_trigger_flushes(self):
+        cl, _, agg = make(flush_bytes=10_000)
+        agg.store(0, 1, 6000)
+        agg.store(0, 1, 6000)  # 12000 >= threshold
+        assert agg.flushes == 1
+        assert agg.pending_bytes(0, 1) == 0
+
+    def test_per_destination_buffers_independent(self):
+        cl, _, agg = make(flush_bytes=10_000, n_devices=3)
+        agg.store(0, 1, 6000)
+        agg.store(0, 2, 6000)
+        assert agg.flushes == 0
+        agg.store(0, 1, 6000)
+        assert agg.flushes == 1
+        assert agg.pending_bytes(0, 2) == 6000
+
+    def test_local_store_rejected(self):
+        _, _, agg = make()
+        with pytest.raises(ValueError, match="local store"):
+            agg.store(1, 1, 100)
+
+    def test_zero_store_is_noop(self):
+        _, _, agg = make()
+        agg.store(0, 1, 0)
+        assert agg.stores == 0
+        assert agg.pending_bytes(0, 1) == 0
+
+    def test_negative_rejected(self):
+        _, _, agg = make()
+        with pytest.raises(ValueError):
+            agg.store(0, 1, -5)
+
+
+class TestTimeTrigger:
+    def test_max_wait_flushes_stale_buffer(self):
+        cl, _, agg = make(flush_bytes=1_000_000, max_wait_ns=100 * us)
+        agg.store(0, 1, 500)
+        assert agg.flushes == 0
+        cl.engine.run(until=99 * us)
+        assert agg.flushes == 0
+        cl.engine.run(until=101 * us)
+        assert agg.flushes == 1
+
+    def test_timer_measures_from_oldest_byte(self):
+        cl, _, agg = make(flush_bytes=1_000_000, max_wait_ns=100 * us)
+
+        def host(cluster):
+            agg.store(0, 1, 500)
+            yield cluster.engine.timeout(60 * us)
+            agg.store(0, 1, 500)  # does NOT reset the deadline
+            yield cluster.engine.timeout(41 * us)  # now past 100 µs
+            return agg.flushes
+
+        cl.run(host)
+        assert agg.flushes == 1
+
+    def test_size_flush_cancels_timer(self):
+        cl, _, agg = make(flush_bytes=1000, max_wait_ns=100 * us)
+        agg.store(0, 1, 1500)  # immediate size flush
+        assert agg.flushes == 1
+        cl.engine.run(until=200 * us)
+        assert agg.flushes == 1  # stale timer must not double-flush
+
+
+class TestFlush:
+    def test_flush_all_sends_everything(self):
+        cl, pgas, agg = make(flush_bytes=1_000_000, n_devices=3)
+        agg.store(0, 1, 100)
+        agg.store(0, 2, 200)
+        agg.store(1, 0, 300)
+        events = agg.flush_all()
+        assert len(events) == 3
+        cl.engine.run()
+        assert cl.profiler.counter(PGASContext.COUNTER).total == pytest.approx(600)
+
+    def test_flush_all_single_source(self):
+        cl, _, agg = make(flush_bytes=1_000_000, n_devices=3)
+        agg.store(0, 1, 100)
+        agg.store(1, 0, 300)
+        events = agg.flush_all(src=0)
+        assert len(events) == 1
+        assert agg.pending_bytes(1, 0) == 300
+
+    def test_flush_empty_returns_none(self):
+        _, _, agg = make()
+        assert agg.flush(0, 1) is None
+
+    def test_quiet_drains_flushed_transfers(self):
+        cl, pgas, agg = make(flush_bytes=1_000_000)
+        agg.store(0, 1, 48.0 * 1e6)  # 1 ms wire
+        agg.flush_all()
+
+        def host(cluster):
+            yield from pgas.quiet(0)
+
+        elapsed = cl.run(host)
+        assert elapsed >= 1e6
+
+
+class TestBandwidthBenefit:
+    def test_fewer_headers_than_small_messages(self):
+        """The §V motivation: aggregated flushes amortise framing."""
+        payload = 1_000_000.0
+        # small messages: 256 B + 32 B header each
+        cl1 = dgx_v100(2)
+        PGASContext(cl1, PGASSpec(message_bytes=256, header_bytes=32)).put(0, 1, payload)
+        cl1.engine.run()
+        small_wire = cl1.interconnect.total_wire_bytes()
+
+        # aggregated: one 64 KiB-framed flush
+        cl2 = dgx_v100(2)
+        pgas2 = PGASContext(cl2)
+        agg = AsyncAggregator(pgas2, AggregatorSpec(flush_bytes=2_000_000))
+        agg.store(0, 1, payload)
+        agg.flush_all()
+        cl2.engine.run()
+        agg_wire = cl2.interconnect.total_wire_bytes()
+
+        assert agg_wire < small_wire
+        assert small_wire / payload > 1.1  # 12.5% header overhead
+        assert agg_wire / payload < 1.01

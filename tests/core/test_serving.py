@@ -1,0 +1,110 @@
+"""Tests for the inference-serving simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DLRMInferencePipeline, PipelineConfig
+from repro.core.serving import InferenceServer, ServingResult, ServingSpec
+from repro.dlrm.data import WorkloadConfig
+from repro.simgpu.units import ms
+
+
+def make_server(backend="pgas", qps=50_000, max_batch=256, window=2 * ms, seed=3,
+                **wl_kw):
+    defaults = dict(num_tables=16, rows_per_table=5000, dim=32, batch_size=256,
+                    max_pooling=8, seed=2)
+    defaults.update(wl_kw)
+    wl = WorkloadConfig(**defaults)
+    pipe = DLRMInferencePipeline(PipelineConfig(workload=wl), 2, backend=backend)
+    return InferenceServer(
+        pipe, ServingSpec(arrival_qps=qps, max_batch=max_batch,
+                          batch_window_ns=window, seed=seed)
+    )
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingSpec(arrival_qps=0)
+        with pytest.raises(ValueError):
+            ServingSpec(arrival_qps=1, max_batch=0)
+        with pytest.raises(ValueError):
+            ServingSpec(arrival_qps=1, batch_window_ns=-1)
+
+    def test_mean_interarrival(self):
+        assert ServingSpec(arrival_qps=1000).mean_interarrival_ns == pytest.approx(1e6)
+
+
+class TestSimulate:
+    def test_all_requests_served(self):
+        res = make_server().simulate(500)
+        assert res.n_requests == 500
+        assert sum(res.batch_sizes) == 500
+
+    def test_latencies_positive_and_bounded_below_by_service(self):
+        res = make_server().simulate(300)
+        assert (res.latencies_ns > 0).all()
+        # nobody finishes before the batch window + some service time
+        assert res.p50_ms > 0.01
+
+    def test_batch_cap_respected(self):
+        res = make_server(qps=1_000_000, max_batch=64).simulate(400)
+        assert max(res.batch_sizes) <= 64
+
+    def test_low_load_small_batches(self):
+        """Sparse arrivals → the window closes on few requests."""
+        res = make_server(qps=2_000, window=0.5 * ms).simulate(60)
+        assert res.mean_batch_size < 16
+
+    def test_high_load_fills_batches(self):
+        res = make_server(qps=2_000_000, max_batch=128).simulate(600)
+        assert res.mean_batch_size > 64
+
+    def test_zero_requests_rejected(self):
+        with pytest.raises(ValueError):
+            make_server().simulate(0)
+
+    def test_deterministic_given_seed(self):
+        a = make_server(seed=7).simulate(200)
+        b = make_server(seed=7).simulate(200)
+        assert np.array_equal(a.latencies_ns, b.latencies_ns)
+
+    def test_backend_override(self):
+        server = make_server(backend="pgas")
+        res = server.simulate(100, backend="baseline")
+        assert res.backend == "baseline"
+
+
+class TestBackendContrast:
+    def test_pgas_serves_lower_latency_under_load(self):
+        """The serving payoff of hiding the EMB communication."""
+        kw = dict(qps=400_000, max_batch=512, num_tables=32, dim=64, max_pooling=16)
+        base = make_server(backend="baseline", **kw).simulate(2000)
+        pgas = make_server(backend="pgas", **kw).simulate(2000)
+        assert pgas.p50_ms < base.p50_ms
+        assert pgas.throughput_qps > base.throughput_qps
+
+    def test_throughput_tracks_offered_load_when_stable(self):
+        res = make_server(qps=50_000).simulate(1000)
+        assert res.throughput_qps == pytest.approx(50_000, rel=0.15)
+
+
+class TestResult:
+    def test_summary_fields(self):
+        res = ServingResult(
+            latencies_ns=np.array([1e6, 2e6, 3e6]),
+            batch_sizes=[2, 1],
+            sim_duration_ns=1e9,
+            backend="pgas",
+        )
+        assert res.n_requests == 3
+        assert res.p50_ms == pytest.approx(2.0)
+        assert res.throughput_qps == pytest.approx(3.0)
+        assert "pgas" in res.summary()
+
+    def test_empty_batches(self):
+        res = ServingResult(np.array([]), [], 0.0, "x")
+        assert res.mean_batch_size == 0.0
+        assert res.throughput_qps == 0.0

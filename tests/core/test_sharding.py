@@ -1,0 +1,167 @@
+"""Tests for sharding plans and sample ownership."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sharding import (
+    RowWiseSharding,
+    TableWiseSharding,
+    minibatch_bounds,
+    sample_owner,
+)
+from repro.dlrm.embedding import EmbeddingTableConfig
+
+
+def configs(n=6, rows=100, dim=8):
+    return [EmbeddingTableConfig(f"t{i}", rows, dim) for i in range(n)]
+
+
+class TestMinibatchBounds:
+    def test_even_split(self):
+        assert minibatch_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_to_leading(self):
+        assert minibatch_bounds(10, 4) == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_more_devices_than_samples(self):
+        bounds = minibatch_bounds(2, 4)
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minibatch_bounds(0, 2)
+        with pytest.raises(ValueError):
+            minibatch_bounds(4, 0)
+
+    @given(
+        batch=st.integers(min_value=1, max_value=1000),
+        parts=st.integers(min_value=1, max_value=16),
+    )
+    def test_partition_properties(self, batch, parts):
+        bounds = minibatch_bounds(batch, parts)
+        assert len(bounds) == parts
+        assert bounds[0][0] == 0 and bounds[-1][1] == batch
+        sizes = [hi - lo for lo, hi in bounds]
+        assert all(s >= 0 for s in sizes)
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestSampleOwner:
+    def test_matches_bounds(self):
+        owners = sample_owner(10, 3)
+        for dev, (lo, hi) in enumerate(minibatch_bounds(10, 3)):
+            assert (owners[lo:hi] == dev).all()
+
+    def test_single_device(self):
+        assert (sample_owner(5, 1) == 0).all()
+
+    @given(
+        batch=st.integers(min_value=1, max_value=500),
+        parts=st.integers(min_value=1, max_value=8),
+    )
+    def test_owner_in_range_and_monotone(self, batch, parts):
+        owners = sample_owner(batch, parts)
+        assert owners.shape == (batch,)
+        assert (owners >= 0).all() and (owners < parts).all()
+        assert (np.diff(owners) >= 0).all()  # contiguous mini-batches
+
+
+class TestTableWise:
+    def test_contiguous_blocks(self):
+        plan = TableWiseSharding(configs(6), 3, strategy="contiguous")
+        assert [t.name for t in plan.tables_on(0)] == ["t0", "t1"]
+        assert [t.name for t in plan.tables_on(2)] == ["t4", "t5"]
+
+    def test_round_robin_stripes(self):
+        plan = TableWiseSharding(configs(6), 3, strategy="round_robin")
+        assert [t.name for t in plan.tables_on(0)] == ["t0", "t3"]
+        assert plan.owner_of("t4") == 1
+
+    def test_uneven_tables(self):
+        plan = TableWiseSharding(configs(7), 3)
+        sizes = [len(plan.tables_on(d)) for d in range(3)]
+        assert sorted(sizes) == [2, 2, 3]
+        plan.validate()
+
+    def test_feature_indices(self):
+        plan = TableWiseSharding(configs(6), 3)
+        assert list(plan.feature_indices_on(1)) == [2, 3]
+        assert plan.feature_index("t5") == 5
+
+    def test_memory_bytes(self):
+        plan = TableWiseSharding(configs(4, rows=10, dim=4), 2)
+        assert plan.memory_bytes(0) == 2 * 10 * 4 * 4
+
+    def test_validate_passes(self):
+        for strat in ("contiguous", "round_robin"):
+            TableWiseSharding(configs(9), 4, strategy=strat).validate()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            TableWiseSharding(configs(2), 2, strategy="random")  # type: ignore[arg-type]
+
+    def test_duplicate_names_rejected(self):
+        cfgs = [EmbeddingTableConfig("x", 10, 4)] * 2
+        with pytest.raises(ValueError, match="duplicate"):
+            TableWiseSharding(cfgs, 2)
+
+    def test_more_devices_than_tables(self):
+        plan = TableWiseSharding(configs(2), 4)
+        plan.validate()
+        assert plan.tables_on(3) == []
+
+    @given(
+        n_tables=st.integers(min_value=1, max_value=30),
+        n_devices=st.integers(min_value=1, max_value=8),
+        strategy=st.sampled_from(["contiguous", "round_robin"]),
+    )
+    def test_exact_partition_property(self, n_tables, n_devices, strategy):
+        plan = TableWiseSharding(configs(n_tables), n_devices, strategy=strategy)
+        plan.validate()
+        all_tables = [t.name for d in range(n_devices) for t in plan.tables_on(d)]
+        assert sorted(all_tables) == sorted(f"t{i}" for i in range(n_tables))
+        for d in range(n_devices):
+            for t in plan.tables_on(d):
+                assert plan.owner_of(t.name) == d
+
+
+class TestRowWise:
+    def test_every_device_holds_every_table(self):
+        plan = RowWiseSharding(configs(3, rows=100), 4)
+        assert len(plan.tables_on(2)) == 3
+        plan.validate()
+
+    def test_shards_tile_rows(self):
+        plan = RowWiseSharding(configs(1, rows=10), 3)
+        shards = plan.shards_of("t0")
+        assert [(s.row_lo, s.row_hi) for s in shards] == [(0, 4), (4, 7), (7, 10)]
+        assert shards[0].num_rows == 4
+
+    def test_row_owner_vectorised(self):
+        plan = RowWiseSharding(configs(1, rows=10), 3)
+        owners = plan.row_owner("t0", np.array([0, 3, 4, 6, 7, 9]))
+        assert list(owners) == [0, 0, 1, 1, 2, 2]
+
+    def test_memory_split_evenly(self):
+        plan = RowWiseSharding(configs(2, rows=100, dim=8), 4)
+        per_dev = [plan.memory_bytes(d) for d in range(4)]
+        assert sum(per_dev) == 2 * 100 * 8 * 4
+        assert max(per_dev) - min(per_dev) <= 2 * 8 * 4  # within one row each
+
+    @given(
+        rows=st.integers(min_value=1, max_value=1000),
+        n_devices=st.integers(min_value=1, max_value=8),
+        queries=st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=20),
+    )
+    def test_row_owner_consistent_with_shards(self, rows, n_devices, queries):
+        plan = RowWiseSharding(configs(1, rows=rows), n_devices)
+        plan.validate()
+        rowids = np.array([q % rows for q in queries])
+        owners = plan.row_owner("t0", rowids)
+        for rid, dev in zip(rowids, owners):
+            shard = plan.shard_on("t0", int(dev))
+            assert shard.row_lo <= rid < shard.row_hi

@@ -1,0 +1,83 @@
+"""Tests for the self-verification utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.verify import (
+    VerificationError,
+    VerificationReport,
+    verify_backend_equivalence,
+)
+from repro.dlrm.data import WorkloadConfig
+
+
+def small(**kw):
+    defaults = dict(num_tables=6, rows_per_table=40, dim=8, batch_size=32,
+                    max_pooling=4, seed=6)
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+class TestVerify:
+    def test_passes_on_healthy_stack(self):
+        report = verify_backend_equivalence(small(), 3, n_batches=2)
+        assert report.batches_checked == 2
+        assert report.samples_checked == 64
+        assert report.wire_bytes_audited > 0
+        assert "functional-equivalence" in report.checks
+        assert "verified" in report.summary()
+
+    def test_single_device(self):
+        report = verify_backend_equivalence(small(), 1, n_batches=1)
+        assert report.batches_checked == 1
+
+    def test_from_table_configs(self):
+        report = verify_backend_equivalence(
+            small().table_configs(), 2, n_batches=1, batch_size=16
+        )
+        assert report.samples_checked == 16
+
+    def test_batch_size_override(self):
+        report = verify_backend_equivalence(small(), 2, n_batches=1, batch_size=8)
+        assert report.samples_checked == 8
+
+    def test_zero_batches_rejected(self):
+        with pytest.raises(ValueError):
+            verify_backend_equivalence(small(), 2, n_batches=0)
+
+    def test_detects_wire_mismatch(self, monkeypatch):
+        """Corrupt the split model: the audit must catch it."""
+        import repro.core.verify as verify_mod
+
+        real = verify_mod.alltoall_split_bytes
+
+        def corrupted(workloads):
+            split = real(workloads)
+            split[0, 1] += 1.0
+            return split
+
+        monkeypatch.setattr(verify_mod, "alltoall_split_bytes", corrupted)
+        with pytest.raises(VerificationError, match="wire bytes"):
+            verify_backend_equivalence(small(), 2, n_batches=1)
+
+    def test_detects_functional_divergence(self, monkeypatch):
+        """Corrupt the PGAS functional path: the audit must catch it."""
+        import repro.core.verify as verify_mod
+
+        real = verify_mod.pgas_functional_forward
+
+        def corrupted(sharded, batch):
+            outs = real(sharded, batch)
+            outs[0] = outs[0] + 1.0
+            return outs
+
+        monkeypatch.setattr(verify_mod, "pgas_functional_forward", corrupted)
+        with pytest.raises(VerificationError, match="PGAS output diverges"):
+            verify_backend_equivalence(small(), 2, n_batches=1)
+
+    def test_report_summary_fields(self):
+        r = VerificationReport(n_devices=2, num_tables=4, batches_checked=1,
+                               samples_checked=8, checks=["x"])
+        assert "2 devices" in r.summary()

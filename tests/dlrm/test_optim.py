@@ -1,0 +1,163 @@
+"""Tests for embedding-table optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlrm.embedding import EmbeddingTable, EmbeddingTableConfig
+from repro.dlrm.optim import RowWiseAdagrad, SparseSGD, aggregate_row_gradients
+
+
+def make_table(rows=10, dim=4, seed=0):
+    return EmbeddingTable(
+        EmbeddingTableConfig("t", rows, dim), rng=np.random.default_rng(seed)
+    )
+
+
+class TestAggregate:
+    def test_no_duplicates_passthrough(self):
+        rows = np.array([3, 1, 7])
+        grads = np.eye(3, 4, dtype=np.float32)
+        u, s = aggregate_row_gradients(rows, grads)
+        assert sorted(u) == [1, 3, 7]
+        # total mass preserved
+        assert s.sum() == pytest.approx(grads.sum())
+
+    def test_duplicates_summed(self):
+        rows = np.array([2, 2, 2])
+        grads = np.ones((3, 4), dtype=np.float32)
+        u, s = aggregate_row_gradients(rows, grads)
+        assert list(u) == [2]
+        assert np.allclose(s, 3.0)
+
+    def test_empty(self):
+        u, s = aggregate_row_gradients(np.empty(0, np.int64), np.empty((0, 4)))
+        assert u.size == 0
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_row_gradients(np.array([1]), np.ones((2, 4)))
+
+    @given(
+        rows=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=30),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_aggregation_preserves_total_gradient(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        grads = rng.normal(size=(len(rows), 3))
+        u, s = aggregate_row_gradients(np.array(rows), grads)
+        dense_direct = np.zeros((10, 3))
+        np.add.at(dense_direct, np.array(rows), grads)
+        dense_agg = np.zeros((10, 3))
+        dense_agg[u] = s
+        assert np.allclose(dense_direct, dense_agg, atol=1e-9)
+
+
+class TestSparseSGD:
+    def test_matches_apply_row_gradients(self):
+        t1, t2 = make_table(seed=1), make_table(seed=1)
+        rows = np.array([1, 1, 3])
+        grads = np.ones((3, 4), dtype=np.float32)
+        SparseSGD(lr=0.5).update(t1, rows, grads)
+        t2.apply_row_gradients(rows, grads, lr=0.5)
+        assert np.allclose(t1.weights, t2.weights, atol=1e-6)
+
+    def test_stateless(self):
+        opt = SparseSGD(lr=0.1)
+        t = make_table()
+        opt.update(t, np.array([0]), np.ones((1, 4), dtype=np.float32))
+        assert opt.state_bytes(t) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparseSGD(lr=0.0)
+
+
+class TestRowWiseAdagrad:
+    def test_first_step_is_scaled_sgd(self):
+        t = make_table(seed=2)
+        w0 = t.weights.copy()
+        g = np.full((1, 4), 2.0, dtype=np.float32)
+        opt = RowWiseAdagrad(lr=1.0, eps=1e-8)
+        opt.update(t, np.array([5]), g)
+        # accumulator = mean(g^2) = 4 → step = g / 2
+        assert np.allclose(t.weights[5], w0[5] - 1.0, atol=1e-4)
+
+    def test_step_size_anneals_for_hot_rows(self):
+        t = make_table(seed=3)
+        opt = RowWiseAdagrad(lr=1.0)
+        g = np.ones((1, 4), dtype=np.float32)
+        before1 = t.weights[0].copy()
+        opt.update(t, np.array([0]), g)
+        step1 = np.abs(t.weights[0] - before1).mean()
+        before2 = t.weights[0].copy()
+        opt.update(t, np.array([0]), g)
+        step2 = np.abs(t.weights[0] - before2).mean()
+        assert step2 < step1
+
+    def test_cold_rows_unaffected(self):
+        t = make_table(seed=4)
+        w0 = t.weights.copy()
+        RowWiseAdagrad().update(t, np.array([1]), np.ones((1, 4), dtype=np.float32))
+        assert np.array_equal(t.weights[0], w0[0])
+        assert not np.array_equal(t.weights[1], w0[1])
+
+    def test_duplicates_equal_one_aggregated_step(self):
+        """Two contributions to one row == one step on their sum."""
+        ta, tb = make_table(seed=5), make_table(seed=5)
+        opt_a, opt_b = RowWiseAdagrad(lr=0.5), RowWiseAdagrad(lr=0.5)
+        g = np.array([[1.0, 0.0, 1.0, 0.0], [0.0, 2.0, 0.0, 2.0]], dtype=np.float32)
+        opt_a.update(ta, np.array([3, 3]), g)
+        opt_b.update(tb, np.array([3]), g.sum(axis=0, keepdims=True))
+        assert np.allclose(ta.weights, tb.weights, atol=1e-6)
+
+    def test_state_bytes_lazy(self):
+        opt = RowWiseAdagrad()
+        t = make_table(rows=100)
+        assert opt.state_bytes(t) == 0
+        opt.update(t, np.array([0]), np.ones((1, 4), dtype=np.float32))
+        assert opt.state_bytes(t) == 400  # one float32 per row
+
+    def test_state_is_per_table(self):
+        opt = RowWiseAdagrad()
+        t1, t2 = make_table(seed=6), make_table(seed=7)
+        opt.update(t1, np.array([0]), np.ones((1, 4), dtype=np.float32))
+        assert opt.state_bytes(t2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowWiseAdagrad(lr=0.0)
+        with pytest.raises(ValueError):
+            RowWiseAdagrad(eps=0.0)
+
+
+class TestTrainerIntegration:
+    def test_adagrad_trainer_learns(self):
+        from repro.dlrm import (
+            DLRM,
+            DLRMConfig,
+            DLRMTrainer,
+            SyntheticDataGenerator,
+            WorkloadConfig,
+        )
+
+        wl = WorkloadConfig(num_tables=3, rows_per_table=30, dim=6, batch_size=16,
+                            max_pooling=3, num_dense_features=4, seed=1)
+        model = DLRM(DLRMConfig(
+            num_dense_features=4, embedding_dim=6, table_configs=wl.table_configs(),
+            bottom_mlp_sizes=(8,), top_mlp_sizes=(8,),
+        ), rng=np.random.default_rng(0))
+        trainer = DLRMTrainer(model, lr=0.3, embedding_optimizer=RowWiseAdagrad(lr=0.3))
+        gen = SyntheticDataGenerator(wl)
+        dense, sparse = next(gen.batches(1))
+        labels = np.ones(16, dtype=np.float32)
+        losses = [trainer.train_step(dense, sparse, labels).loss for _ in range(30)]
+        assert losses[-1] < 0.5 * losses[0]
+        # Adagrad state actually allocated on the hot tables.
+        touched = sum(
+            trainer.embedding_optimizer.state_bytes(t) for t in model.embeddings.tables
+        )
+        assert touched > 0

@@ -1,0 +1,334 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simgpu.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    SimulationError,
+    Timeout,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_run_empty_queue_is_noop(self):
+        eng = Engine()
+        assert eng.run() == 0.0
+
+    def test_run_until_advances_clock_with_no_events(self):
+        eng = Engine()
+        eng.run(until=500.0)
+        assert eng.now == 500.0
+
+    def test_call_at_executes_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.call_at(30.0, lambda: order.append("c"))
+        eng.call_at(10.0, lambda: order.append("a"))
+        eng.call_at(20.0, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b", "c"]
+        assert eng.now == 30.0
+
+    def test_same_time_callbacks_fifo(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            eng.call_at(10.0, lambda i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_call_in_is_relative(self):
+        eng = Engine()
+        seen = []
+        eng.call_in(5.0, lambda: eng.call_in(7.0, lambda: seen.append(eng.now)))
+        eng.run()
+        assert seen == [12.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        eng = Engine()
+        eng.call_at(10.0, lambda: None)
+        eng.run()
+        with pytest.raises(SimulationError):
+            eng.call_at(5.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        eng = Engine()
+        fired = []
+        eng.call_at(100.0, lambda: fired.append(1))
+        eng.run(until=50.0)
+        assert fired == [] and eng.now == 50.0
+        eng.run()
+        assert fired == [1] and eng.now == 100.0
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        eng = Engine()
+        ev = eng.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(42)
+        eng.run()
+        assert got == [42]
+
+    def test_double_trigger_raises(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        eng = Engine()
+        ev = eng.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_callback_after_trigger_still_fires(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed("late")
+        eng.run()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        eng.run()
+        assert got == ["late"]
+
+    def test_triggered_and_ok_flags(self):
+        eng = Engine()
+        ev = eng.event()
+        assert not ev.triggered
+        ev.fail(RuntimeError("boom"))
+        assert ev.triggered and not ev.ok
+
+
+class TestTimeout:
+    def test_fires_after_delay(self):
+        eng = Engine()
+        seen = []
+        t = eng.timeout(25.0, value="v")
+        t.add_callback(lambda e: seen.append((eng.now, e.value)))
+        eng.run()
+        assert seen == [(25.0, "v")]
+
+    def test_not_triggered_until_expiry(self):
+        eng = Engine()
+        t = eng.timeout(25.0)
+        assert not t.triggered
+        eng.run(until=10.0)
+        assert not t.triggered
+        eng.run()
+        assert t.triggered
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.timeout(-1.0)
+
+    def test_zero_delay_fires_now(self):
+        eng = Engine()
+        t = eng.timeout(0.0)
+        eng.run()
+        assert t.triggered and eng.now == 0.0
+
+
+class TestProcess:
+    def test_simple_process_advances_time(self):
+        eng = Engine()
+
+        def worker():
+            yield eng.timeout(10.0)
+            yield eng.timeout(5.0)
+            return "done"
+
+        proc = eng.process(worker())
+        result = eng.run_until_event(proc)
+        assert result == "done"
+        assert eng.now == 15.0
+
+    def test_process_receives_event_value(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def worker():
+            got = yield ev
+            return got * 2
+
+        proc = eng.process(worker())
+        eng.call_at(3.0, lambda: ev.succeed(21))
+        assert eng.run_until_event(proc) == 42
+
+    def test_processes_wait_on_each_other(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(7.0)
+            return "child-result"
+
+        def parent():
+            result = yield eng.process(child())
+            return f"got:{result}"
+
+        proc = eng.process(parent())
+        assert eng.run_until_event(proc) == "got:child-result"
+        assert eng.now == 7.0
+
+    def test_failed_event_raises_inside_process(self):
+        eng = Engine()
+        ev = eng.event()
+        caught = []
+
+        def worker():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+            return "survived"
+
+        proc = eng.process(worker())
+        eng.call_at(1.0, lambda: ev.fail(RuntimeError("boom")))
+        assert eng.run_until_event(proc) == "survived"
+        assert caught == ["boom"]
+
+    def test_yielding_non_event_raises(self):
+        eng = Engine()
+
+        def worker():
+            yield 42  # type: ignore[misc]
+
+        eng.process(worker())
+        with pytest.raises(SimulationError, match="must yield Event"):
+            eng.run()
+
+    def test_interrupt_wakes_process(self):
+        eng = Engine()
+        log = []
+
+        def sleeper():
+            try:
+                yield eng.timeout(1000.0)
+            except Interrupt as i:
+                log.append(("interrupted", eng.now, i.cause))
+            return "ok"
+
+        proc = eng.process(sleeper())
+        eng.call_at(10.0, lambda: proc.interrupt("reason"))
+        assert eng.run_until_event(proc) == "ok"
+        assert log == [("interrupted", 10.0, "reason")]
+
+    def test_unhandled_interrupt_fails_process(self):
+        eng = Engine()
+
+        def sleeper():
+            yield eng.timeout(1000.0)
+
+        proc = eng.process(sleeper())
+        eng.call_at(10.0, lambda: proc.interrupt())
+        with pytest.raises(Interrupt):
+            eng.run_until_event(proc)
+
+    def test_interrupted_timeout_does_not_double_resume(self):
+        eng = Engine()
+        resumes = []
+
+        def sleeper():
+            try:
+                yield eng.timeout(100.0)
+            except Interrupt:
+                pass
+            resumes.append(eng.now)
+            yield eng.timeout(500.0)
+            resumes.append(eng.now)
+
+        proc = eng.process(sleeper())
+        eng.call_at(10.0, lambda: proc.interrupt())
+        eng.run_until_event(proc)
+        # Resumed once at the interrupt and once at 10 + 500; the original
+        # timeout firing at t=100 must not inject an extra resume.
+        assert resumes == [10.0, 510.0]
+
+    def test_interrupting_finished_process_raises(self):
+        eng = Engine()
+
+        def quick():
+            yield eng.timeout(1.0)
+
+        proc = eng.process(quick())
+        eng.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_event(self):
+        eng = Engine()
+
+        def worker():
+            yield eng.all_of([eng.timeout(10.0), eng.timeout(30.0), eng.timeout(20.0)])
+            return eng.now
+
+        proc = eng.process(worker())
+        assert eng.run_until_event(proc) == 30.0
+
+    def test_all_of_empty_fires_immediately(self):
+        eng = Engine()
+        ev = eng.all_of([])
+        assert ev.triggered
+
+    def test_all_of_fails_on_first_child_failure(self):
+        eng = Engine()
+        bad = eng.event()
+        combo = eng.all_of([eng.timeout(100.0), bad])
+        eng.call_at(5.0, lambda: bad.fail(ValueError("child failed")))
+        eng.run(until=6.0)
+        assert combo.triggered and not combo.ok
+
+    def test_any_of_fires_on_first(self):
+        eng = Engine()
+
+        def worker():
+            yield eng.any_of([eng.timeout(10.0), eng.timeout(30.0)])
+            return eng.now
+
+        proc = eng.process(worker())
+        assert eng.run_until_event(proc) == 10.0
+
+    def test_any_of_empty_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.any_of([])
+
+
+class TestRunUntilEvent:
+    def test_drained_queue_without_trigger_raises(self):
+        eng = Engine()
+        ev = eng.event()  # nobody will ever succeed it
+        with pytest.raises(SimulationError, match="never triggered"):
+            eng.run_until_event(ev)
+
+    def test_limit_exceeded_raises(self):
+        eng = Engine()
+
+        def forever():
+            while True:
+                yield eng.timeout(100.0)
+
+        proc = eng.process(forever())
+        with pytest.raises(SimulationError, match="exceeded limit"):
+            eng.run_until_event(proc, limit=1000.0)
+
+    def test_failed_event_reraises(self):
+        eng = Engine()
+        ev = eng.event()
+        eng.call_at(1.0, lambda: ev.fail(KeyError("nope")))
+        with pytest.raises(KeyError):
+            eng.run_until_event(ev)

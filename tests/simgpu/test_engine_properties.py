@@ -1,0 +1,98 @@
+"""Property-based tests of engine ordering and process semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simgpu.engine import Engine
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    """Whatever the insertion order, execution times are sorted."""
+    eng = Engine()
+    fired = []
+    for d in delays:
+        eng.call_at(d, lambda d=d: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert eng.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=30))
+def test_sequential_timeouts_sum(delays):
+    """A process sleeping a sequence of timeouts wakes at their sum."""
+    eng = Engine()
+
+    def worker():
+        for d in delays:
+            yield eng.timeout(d)
+        return eng.now
+
+    proc = eng.process(worker())
+    result = eng.run_until_event(proc)
+    assert abs(result - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=20)
+)
+def test_all_of_completes_at_max_any_of_at_min(delays):
+    """Fork/join semantics: AllOf = max child, AnyOf = min child."""
+    eng = Engine()
+
+    def worker():
+        yield eng.all_of([eng.timeout(d) for d in delays])
+        return eng.now
+
+    proc = eng.process(worker())
+    assert eng.run_until_event(proc) == max(delays)
+
+    eng2 = Engine()
+
+    def worker2():
+        yield eng2.any_of([eng2.timeout(d) for d in delays])
+        return eng2.now
+
+    proc2 = eng2.process(worker2())
+    assert eng2.run_until_event(proc2) == min(delays)
+
+
+@given(
+    n_procs=st.integers(min_value=1, max_value=20),
+    step=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_parallel_processes_are_independent(n_procs, step):
+    """N processes sleeping i*step finish at their own deadlines."""
+    eng = Engine()
+    done_at = {}
+
+    def worker(i):
+        yield eng.timeout(i * step)
+        done_at[i] = eng.now
+
+    procs = [eng.process(worker(i)) for i in range(1, n_procs + 1)]
+    eng.run()
+    for i in range(1, n_procs + 1):
+        assert abs(done_at[i] - i * step) < 1e-9 * max(1.0, i * step)
+    assert all(p.triggered for p in procs)
+
+
+@given(seed_times=st.lists(st.tuples(
+    st.floats(min_value=0.0, max_value=1000.0),
+    st.integers(min_value=0, max_value=5),
+), min_size=1, max_size=20))
+def test_determinism_across_runs(seed_times):
+    """Two engines fed identical schedules produce identical traces."""
+
+    def run_once():
+        eng = Engine()
+        trace = []
+        for t, tag in seed_times:
+            eng.call_at(t, lambda t=t, tag=tag: trace.append((eng.now, tag)))
+        eng.run()
+        return trace
+
+    assert run_once() == run_once()

@@ -1,0 +1,196 @@
+"""Tests for links, topologies, and transfer contention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simgpu.engine import Engine
+from repro.simgpu.interconnect import (
+    Interconnect,
+    Link,
+    LinkSpec,
+    NIC_SPEC,
+    NVLINK_PAIR_SPEC,
+    Topology,
+    multinode_topology,
+    nvlink_dgx1,
+    pcie_topology,
+    wire_bytes,
+)
+from repro.simgpu.profiler import Profiler
+
+
+class TestWireBytes:
+    def test_single_message(self):
+        assert wire_bytes(1000, 0, 32) == 1032
+
+    def test_many_messages(self):
+        # 1000 B in 256-B messages = 4 messages → 4 headers
+        assert wire_bytes(1000, 256, 32) == 1000 + 4 * 32
+
+    def test_exact_multiple(self):
+        assert wire_bytes(512, 256, 32) == 512 + 2 * 32
+
+    def test_zero_payload_costs_nothing(self):
+        assert wire_bytes(0, 256, 32) == 0.0
+
+    def test_no_header(self):
+        assert wire_bytes(777, 256, 0) == 777
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            wire_bytes(-1, 256, 32)
+
+    @given(
+        payload=st.floats(min_value=1, max_value=1e9),
+        msg=st.integers(min_value=1, max_value=4096),
+        hdr=st.integers(min_value=0, max_value=128),
+    )
+    def test_wire_at_least_payload(self, payload, msg, hdr):
+        w = wire_bytes(payload, msg, hdr)
+        assert w >= payload
+        # header overhead bounded by one header per message.
+        assert w <= payload + (payload / msg + 1) * hdr
+
+
+class TestLink:
+    def make(self, bw=10.0, lat=100.0):
+        return Link(Engine(), 0, 1, LinkSpec(bandwidth=bw, latency_ns=lat))
+
+    def test_alpha_beta_timing(self):
+        lk = self.make(bw=10.0, lat=100.0)
+        ev = lk.transfer(1000.0)  # 1000/10 = 100 ns + 100 lat
+        lk.engine.run()
+        assert ev.triggered
+        assert ev.value == pytest.approx(200.0)
+
+    def test_serialisation_under_contention(self):
+        lk = self.make(bw=10.0, lat=0.0)
+        e1 = lk.transfer(1000.0)
+        e2 = lk.transfer(1000.0)
+        lk.engine.run()
+        assert e1.value == pytest.approx(100.0)
+        assert e2.value == pytest.approx(200.0)  # queued behind e1
+
+    def test_headers_stretch_busy_time(self):
+        lk = self.make(bw=1.0, lat=0.0)
+        lk.transfer(1000.0, message_bytes=100, header_bytes=100)  # wire = 2000
+        lk.engine.run()
+        assert lk.busy_time == pytest.approx(2000.0)
+        assert lk.bytes_carried == pytest.approx(2000.0)
+
+    def test_on_complete_called_at_delivery(self):
+        lk = self.make(bw=10.0, lat=50.0)
+        seen = []
+        lk.transfer(100.0, on_complete=seen.append)
+        lk.engine.run()
+        assert seen == [pytest.approx(60.0)]
+
+    def test_utilization(self):
+        lk = self.make(bw=10.0, lat=0.0)
+        lk.transfer(500.0)
+        lk.engine.run()
+        assert lk.utilization(100.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            lk.utilization(0.0)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=0.0, latency_ns=0.0)
+        with pytest.raises(ValueError):
+            LinkSpec(bandwidth=1.0, latency_ns=-1.0)
+
+
+class TestTopology:
+    def test_nvlink_clique_all_connected(self):
+        topo = nvlink_dgx1(4)
+        for s in range(4):
+            for d in range(4):
+                assert topo.connected(s, d) == (s != d)
+
+    def test_self_link_is_none(self):
+        topo = nvlink_dgx1(2)
+        assert topo.link_spec(0, 0) is None
+
+    def test_out_of_range_pair_rejected(self):
+        topo = nvlink_dgx1(2)
+        with pytest.raises(ValueError):
+            topo.link_spec(0, 5)
+
+    def test_multinode_intra_vs_inter(self):
+        topo = multinode_topology(8, devices_per_node=4)
+        assert topo.link_spec(0, 3) == NVLINK_PAIR_SPEC
+        assert topo.link_spec(0, 4) == NIC_SPEC
+        assert topo.link_spec(5, 7) == NVLINK_PAIR_SPEC
+
+    def test_pcie_slower_than_nvlink(self):
+        assert pcie_topology(2).link_spec(0, 1).bandwidth < nvlink_dgx1(2).link_spec(0, 1).bandwidth
+
+
+class TestInterconnect:
+    def make(self, n=3):
+        eng = Engine()
+        prof = Profiler()
+        return Interconnect(eng, nvlink_dgx1(n), prof), eng, prof
+
+    def test_links_cached(self):
+        ic, eng, _ = self.make()
+        assert ic.link(0, 1) is ic.link(0, 1)
+        assert ic.link(0, 1) is not ic.link(1, 0)  # directed
+
+    def test_self_transfer_rejected(self):
+        ic, eng, _ = self.make()
+        with pytest.raises(ValueError, match="not connected"):
+            ic.transfer(1, 1, 100.0)
+
+    def test_counter_credited_payload_not_wire(self):
+        ic, eng, prof = self.make()
+        ic.transfer(0, 1, 1000.0, message_bytes=100, header_bytes=100)
+        eng.run()
+        assert prof.counter(Interconnect.COUNTER).total == pytest.approx(1000.0)
+        # but the link carried payload + headers
+        assert ic.total_wire_bytes() == pytest.approx(2000.0)
+
+    def test_per_pair_counter(self):
+        ic, eng, prof = self.make()
+        ic.transfer(0, 2, 500.0)
+        ic.transfer(1, 2, 300.0)
+        eng.run()
+        assert prof.counter("comm_bytes.dev0->dev2").total == pytest.approx(500.0)
+        assert prof.counter("comm_bytes.dev1->dev2").total == pytest.approx(300.0)
+
+    def test_custom_counter_name(self):
+        ic, eng, prof = self.make()
+        ic.transfer(0, 1, 100.0, counter="special")
+        eng.run()
+        assert prof.counter("special").total == pytest.approx(100.0)
+        assert prof.counter(Interconnect.COUNTER).total == 0.0
+
+    def test_distinct_pairs_transfer_in_parallel(self):
+        ic, eng, _ = self.make()
+        bw = NVLINK_PAIR_SPEC.bandwidth
+        lat = NVLINK_PAIR_SPEC.latency_ns
+        e1 = ic.transfer(0, 1, bw * 1000.0)  # 1000 ns of wire time
+        e2 = ic.transfer(0, 2, bw * 1000.0)
+        eng.run()
+        # parallel links: both complete at 1000 + latency, not 2000+.
+        assert e1.value == pytest.approx(1000.0 + lat)
+        assert e2.value == pytest.approx(1000.0 + lat)
+
+    def test_conservation_bytes_in_equals_bytes_out(self):
+        """Every payload byte injected is delivered exactly once."""
+        ic, eng, prof = self.make(4)
+        rng = np.random.default_rng(0)
+        total = 0.0
+        for _ in range(50):
+            s, d = rng.integers(0, 4, size=2)
+            if s == d:
+                continue
+            nbytes = float(rng.integers(1, 10_000))
+            total += nbytes
+            ic.transfer(int(s), int(d), nbytes)
+        eng.run()
+        assert prof.counter(Interconnect.COUNTER).total == pytest.approx(total)

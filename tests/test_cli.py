@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+SMALL = ["--tables", "8", "--rows", "2000", "--dim", "16",
+         "--batch", "512", "--pooling", "8"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.tables == 64 and args.gpus == 2
+
+
+class TestRun:
+    def test_prints_both_backends(self, capsys):
+        code, out = run_cli(capsys, "run", *SMALL, "--gpus", "2")
+        assert code == 0
+        assert "baseline" in out and "pgas" in out
+        assert "PGAS speedup" in out
+
+    def test_multi_batch(self, capsys):
+        code, out = run_cli(capsys, "run", *SMALL, "--batches", "2")
+        assert code == 0
+        assert "2 batches" in out
+
+
+class TestSweep:
+    def test_pooling_sweep(self, capsys):
+        code, out = run_cli(capsys, "sweep", *SMALL, "max_pooling", "4", "8")
+        assert code == 0
+        assert "sweep: max_pooling" in out
+        assert out.count("x") >= 2  # speedup column
+
+    def test_invalid_knob(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "learning_rate", "1"])
+
+
+class TestPlan:
+    def test_criteo_plan(self, capsys):
+        code, out = run_cli(capsys, "plan", "--criteo-tables", "10")
+        assert code == 0
+        assert "placement" in out
+        assert "imbalance" in out
+
+    def test_forced_device_count(self, capsys):
+        code, out = run_cli(capsys, "plan", "--criteo-tables", "10", "--gpus", "4")
+        assert code == 0
+        assert "4 x" in out
+
+
+class TestTrace:
+    def test_writes_valid_json(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        code, out = run_cli(capsys, "trace", *SMALL, "--output", str(out_path))
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert data["traceEvents"]
+        assert "chrome://tracing" in out
+
+    def test_baseline_backend(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        code, out = run_cli(
+            capsys, "trace", *SMALL, "--backend", "baseline", "--output", str(out_path)
+        )
+        assert code == 0
+        assert "baseline" in out
+
+
+class TestReproduce:
+    def test_single_artifact_small(self, capsys):
+        code, out = run_cli(
+            capsys, "reproduce", "--batches", "1", "--scale", "0.02", "--only", "T1"
+        )
+        assert code == 0
+        assert "PGAS over baseline" in out
+
+    def test_invalid_id(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "--only", "F99"])
+
+
+class TestReport:
+    def test_writes_markdown(self, capsys, tmp_path):
+        out_path = tmp_path / "R.md"
+        code, out = run_cli(
+            capsys, "report", "--batches", "1", "--scale", "0.02",
+            "--output", str(out_path),
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert "paper vs. measured" in text
+        assert "Weak scaling" in text and "Strong scaling" in text
+        assert "wrote" in out
