@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Hot-row caching: skewed traffic, fewer wire bytes, same outputs.
+
+Runs a zipf-skewed workload through the PGAS backend with and without the
+per-device hot-row cache (`backend="pgas+cache"`): the cache replicates
+frequently fetched remote rows locally, so fully cache-covered embedding
+bags stop crossing the wire while every output stays bit-identical to
+the uncached backends.  Prints the cache hit rate, the comm-volume cut,
+and the simulated EMB speedup over a short batch stream.
+
+Run:  python examples/cached_retrieval.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DistributedEmbedding, SyntheticDataGenerator, WorkloadConfig
+from repro.cache import CacheConfig
+from repro.simgpu.units import to_ms
+
+
+def main() -> None:
+    # Zipf-skewed lookups: the regime where hot-row caching pays.
+    config = WorkloadConfig(
+        num_tables=16,
+        rows_per_table=8_192,
+        dim=32,
+        batch_size=2_048,
+        max_pooling=4,
+        index_distribution="zipf",
+        zipf_alpha=1.1,
+        seed=42,
+    )
+    n_gpus = 2
+    n_batches = 4
+    cache = CacheConfig(capacity_fraction=0.05, policy="lru")
+
+    print(f"workload: {config.num_tables} tables x {config.rows_per_table} rows "
+          f"x d={config.dim}, batch {config.batch_size}, zipf({config.zipf_alpha}), "
+          f"{n_gpus} GPUs")
+    print(f"cache: {cache.policy}, capacity {cache.capacity_fraction:.0%} of remote rows\n")
+
+    rng_seed = 0
+    plain = DistributedEmbedding(config, n_gpus, backend="pgas", materialize=True,
+                                 rng=np.random.default_rng(rng_seed))
+    cached = DistributedEmbedding(config, n_gpus, backend="pgas+cache", cache=cache,
+                                  materialize=True, rng=np.random.default_rng(rng_seed))
+
+    gen = SyntheticDataGenerator(config)
+    batches = [gen.sparse_batch() for _ in range(n_batches)]
+
+    t_plain = t_cached = 0.0
+    for batch in batches:
+        r_plain = plain.forward(batch)
+        r_cached = cached.forward(batch)
+        t_plain += r_plain.timing.total_ns
+        t_cached += r_cached.timing.total_ns
+        # Functional guarantee: the cache serves exact row replicas, so
+        # cached and uncached outputs are bit-identical.
+        for g, (a, b) in enumerate(zip(r_plain.outputs, r_cached.outputs)):
+            assert np.array_equal(a, b), f"device {g} outputs diverge"
+
+    engine = cached.backend_adapter()  # the CachedRetrieval instance
+    stats = engine.stats()
+    print(f"outputs: pgas == pgas+cache (bit-identical) over {n_batches} batches")
+    print(f"cache:   {stats.hits} hits / {stats.lookups} remote lookups "
+          f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions")
+    print(f"\nsimulated EMB forward ({n_batches} batches):")
+    print(f"  pgas        {to_ms(t_plain):7.3f} ms")
+    print(f"  pgas+cache  {to_ms(t_cached):7.3f} ms")
+    print(f"  speedup     {t_plain / t_cached:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

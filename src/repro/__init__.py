@@ -43,7 +43,12 @@ from .core import (
     RowWiseSharding,
     ShardedEmbeddingTables,
     TableWiseSharding,
+    available_backends,
 )
+
+# Importing repro.cache registers the "+cache" backends; keep it after core.
+from . import cache
+from .cache import CacheConfig, CachedRetrieval
 from .dlrm import (
     DLRM,
     DLRMConfig,
@@ -62,6 +67,8 @@ __version__ = "0.1.0"
 __all__ = [
     "BackendName",
     "BaselineRetrieval",
+    "CacheConfig",
+    "CachedRetrieval",
     "Cluster",
     "DLRM",
     "DLRMConfig",
@@ -81,6 +88,8 @@ __all__ = [
     "TableWiseSharding",
     "WorkloadConfig",
     "__version__",
+    "available_backends",
+    "cache",
     "comm",
     "core",
     "dgx_v100",

@@ -5,6 +5,12 @@ paper's evaluation section (see DESIGN.md §4 for the index).
 """
 
 from .breakdown import BreakdownBar, BreakdownResult, breakdown_from_scaling
+from .cachesweep import (
+    CacheSweepPoint,
+    CacheSweepResult,
+    run_cache_sweep,
+    serving_cache_comparison,
+)
 from .capacity import CapacityPoint, CapacityStudy, run_capacity_study
 from .commvolume import CommVolumeTrace, UNIT_BYTES, trace_comm_volume
 from .reporting import (
@@ -37,6 +43,10 @@ from .scaling import (
 
 __all__ = [
     "BreakdownBar",
+    "CacheSweepPoint",
+    "CacheSweepResult",
+    "run_cache_sweep",
+    "serving_cache_comparison",
     "CapacityPoint",
     "CapacityStudy",
     "run_capacity_study",

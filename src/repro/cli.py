@@ -6,6 +6,7 @@ Commands
 ``report``      write the paper-vs-measured markdown report to a file
 ``run``         time one workload on both backends and print the phases
 ``sweep``       sweep a workload knob and print speedups per point
+``cachesweep``  hot-row cache hit rate / comm / speedup vs skew and capacity
 ``plan``        capacity-aware table placement for a Criteo-like table set
 ``trace``       run one batch and write a chrome://tracing JSON timeline
 """
@@ -20,7 +21,7 @@ from typing import List, Optional
 from .bench.runner import EXPERIMENT_IDS, ExperimentRunner
 from .bench.sweeps import batch_size_sweep, pooling_sweep, table_count_sweep
 from .core.planner import plan_table_wise
-from .core.retrieval import DistributedEmbedding
+from .core.retrieval import DistributedEmbedding, available_backends, backend_spec
 from .dlrm.data import SyntheticDataGenerator, WEAK_SCALING_BASE, WorkloadConfig
 from .dlrm.heterogeneous import criteo_like
 from .simgpu.device import V100_SPEC
@@ -73,6 +74,18 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("knob", choices=("batch_size", "max_pooling", "num_tables"))
     sw.add_argument("values", type=float, nargs="+", help="knob values to sweep")
 
+    cs = sub.add_parser("cachesweep", help="hot-row cache sweep (skew x capacity)")
+    _workload_args(cs)
+    cs.set_defaults(tables=8, rows=4096, dim=32, batch=1024, pooling=4)
+    cs.add_argument("--alphas", type=float, nargs="+", default=[1.05, 1.1, 1.2],
+                    help="zipf skew values")
+    cs.add_argument("--capacities", type=float, nargs="+", default=[0.05, 0.1, 0.2],
+                    help="cache capacity as a fraction of remote rows")
+    cs.add_argument("--policy", choices=("lru", "lfu", "static-topk"), default="lru")
+    cs.add_argument("--batches", type=int, default=4, help="measured batches per point")
+    cs.add_argument("--base", choices=("pgas", "baseline"), default="pgas",
+                    help="underlying backend to wrap")
+
     pl = sub.add_parser("plan", help="capacity-aware table placement")
     pl.add_argument("--criteo-tables", type=int, default=26)
     pl.add_argument("--dim", type=int, default=64)
@@ -89,7 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     tr = sub.add_parser("trace", help="write a chrome://tracing timeline of one batch")
     _workload_args(tr)
-    tr.add_argument("--backend", choices=("pgas", "baseline"), default="pgas")
+    tr.add_argument("--backend", choices=tuple(available_backends()), default="pgas")
+    tr.add_argument("--zipf", type=float, default=None,
+                    help="zipf skew for the traced batch (cached backends profit)")
     tr.add_argument("--output", default="repro_trace.json")
 
     return ap
@@ -165,11 +180,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cachesweep(args: argparse.Namespace) -> int:
+    from .bench.cachesweep import run_cache_sweep
+
+    cfg = _workload_from(args)
+    result = run_cache_sweep(
+        cfg,
+        alphas=args.alphas,
+        capacity_fractions=args.capacities,
+        base=args.base,
+        policy=args.policy,
+        n_devices=args.gpus,
+        n_batches=args.batches,
+    )
+    print(result.render())
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     cfg = _workload_from(args)
+    if args.zipf is not None:
+        cfg = dataclasses.replace(cfg, index_distribution="zipf", zipf_alpha=args.zipf)
     emb = DistributedEmbedding(cfg, args.gpus, backend=args.backend)
-    lengths = SyntheticDataGenerator(cfg).lengths_batch()
-    t = emb.forward_timed(lengths)
+    gen = SyntheticDataGenerator(cfg)
+    if backend_spec(args.backend).requires_indices:
+        t = emb.forward(gen.sparse_batch()).timing
+    else:
+        t = emb.forward_timed(gen.lengths_batch())
     write_chrome_trace(emb.cluster.profiler, args.output)
     print(f"simulated {to_ms(t.total_ns):.3f} ms ({args.backend}, {args.gpus} GPUs)")
     print(summarize_spans(emb.cluster.profiler))
@@ -182,6 +219,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "cachesweep": _cmd_cachesweep,
     "plan": _cmd_plan,
     "trace": _cmd_trace,
 }

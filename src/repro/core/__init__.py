@@ -33,7 +33,16 @@ from .functional import (
 from .pgas_retrieval import PGASFusedRetrieval
 from .pipeline import DLRMInferencePipeline, PipelineConfig, PipelineTiming
 from .planner import PlacementError, PlacementReport, min_devices_required, plan_table_wise
-from .retrieval import BackendName, DistributedEmbedding, ForwardResult
+from .retrieval import (
+    BackendName,
+    BackendSpec,
+    DistributedEmbedding,
+    ForwardResult,
+    RetrievalBackend,
+    available_backends,
+    backend_spec,
+    register_backend,
+)
 from .serving import InferenceServer, ServingResult, ServingSpec
 from .sharding import (
     RowShard,
@@ -69,6 +78,7 @@ __all__ = [
     "AggregatorSpec",
     "AsyncAggregator",
     "BackendName",
+    "BackendSpec",
     "BaselineBackward",
     "BaselineRetrieval",
     "PGASFusedBackward",
@@ -102,9 +112,13 @@ __all__ = [
     "rowwise_functional_forward_partials",
     "rowwise_pgas_functional_forward",
     "REMOTE_WRITE_KERNEL_DRAG",
+    "RetrievalBackend",
     "RowShard",
     "RowWiseSharding",
     "InferenceServer",
+    "available_backends",
+    "backend_spec",
+    "register_backend",
     "SendBlock",
     "ServingResult",
     "ServingSpec",

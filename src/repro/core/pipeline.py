@@ -28,6 +28,7 @@ import numpy as np
 
 from ..comm.collective import CollectiveSpec
 from ..comm.pgas import PGASSpec
+from ..dlrm.batch import SparseBatch
 from ..dlrm.data import WorkloadConfig
 from ..dlrm.interaction import interaction_output_dim
 from ..simgpu.cluster import Cluster, dgx_v100
@@ -37,9 +38,9 @@ from ..simgpu.units import gbps
 from .baseline import BaselineRetrieval, PhaseTiming
 from .calibration import INDEX_BYTES, OFFSET_BYTES
 from .pgas_retrieval import PGASFusedRetrieval
-from .retrieval import BackendName
+from .retrieval import BackendName, backend_spec
 from .sharding import TableWiseSharding, minibatch_bounds
-from .workload import DeviceWorkload, build_device_workloads
+from .workload import DeviceWorkload, build_device_workloads, lengths_from_batch
 
 __all__ = ["PipelineConfig", "PipelineTiming", "DLRMInferencePipeline", "H2D_BANDWIDTH"]
 
@@ -127,6 +128,7 @@ class DLRMInferencePipeline:
         h2d_bandwidth: float = H2D_BANDWIDTH,
         overlap_input_staging: bool = False,
         staging_chunks: int = 8,
+        cache: Optional[object] = None,
     ):
         """``overlap_input_staging`` enables the paper's §V input-pipelining
         proposal: instead of waiting for the whole CPU-partitioned input to
@@ -134,9 +136,10 @@ class DLRMInferencePipeline:
         into the computation kernel, allowing computation to start
         immediately when the corresponding sparse input is picked out"),
         the copy is cut into ``staging_chunks`` pieces and the compute
-        paths start after the first chunk, overlapping the rest."""
-        if backend not in ("pgas", "baseline"):
-            raise ValueError(f"unknown backend {backend!r}")
+        paths start after the first chunk, overlapping the rest.
+        ``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
+        ``"+cache"`` backends."""
+        backend_spec(backend)  # unknown names raise here
         if h2d_bandwidth <= 0:
             raise ValueError("h2d_bandwidth must be positive")
         if staging_chunks <= 0:
@@ -152,8 +155,41 @@ class DLRMInferencePipeline:
         self.h2d_bandwidth = h2d_bandwidth
         self.overlap_input_staging = overlap_input_staging
         self.staging_chunks = staging_chunks
+        self.collective_spec = collective_spec
+        self.pgas_spec = pgas_spec
+        self.cache_config = cache
         self._baseline = BaselineRetrieval(self.cluster, collective_spec)
         self._pgas = PGASFusedRetrieval(self.cluster, pgas_spec)
+        self._cached: Dict[str, object] = {}
+
+    # -- cached EMB engines -------------------------------------------------------
+
+    def set_cache_config(self, cache: Optional[object]) -> None:
+        """Swap the cache config; existing cache engines are released."""
+        for engine in self._cached.values():
+            engine.release()
+        self._cached.clear()
+        self.cache_config = cache
+
+    def _cached_retrieval(self, backend: BackendName):
+        """The persistent cached EMB engine for a ``"+cache"`` backend."""
+        engine = self._cached.get(backend)
+        if engine is None:
+            from ..cache import CacheConfig, CachedRetrieval  # lazy: avoid cycle
+
+            if not backend.endswith("+cache"):
+                raise ValueError(f"backend {backend!r} is not a cached backend")
+            base = backend[: -len("+cache")]
+            engine = CachedRetrieval(
+                self.cluster,
+                self.plan,
+                self.cache_config or CacheConfig(),
+                base=base,
+                collective_spec=self.collective_spec,
+                pgas_spec=self.pgas_spec,
+            )
+            self._cached[backend] = engine
+        return engine
 
     # -- cost helpers -----------------------------------------------------------
 
@@ -206,36 +242,80 @@ class DLRMInferencePipeline:
 
     # -- running ----------------------------------------------------------------
 
+    def _plan_emb(
+        self,
+        lengths_by_feature: Optional[Mapping[str, np.ndarray]],
+        backend: BackendName,
+        batch: Optional[SparseBatch],
+    ):
+        """Resolve one batch's (staging workloads, cached plan or None).
+
+        Cached backends need the actual index values (``batch``); their
+        cache pass runs here — once — and the input staging still accounts
+        the full uncached indices (the cache lives on-device, the host
+        ships everything).
+        """
+        if backend_spec(backend).requires_indices:
+            if batch is None:
+                raise ValueError(
+                    f"backend {backend!r} needs index values; pass batch=<SparseBatch>"
+                )
+            if lengths_by_feature is None:
+                lengths_by_feature = lengths_from_batch(batch)
+            workloads = build_device_workloads(self.plan, lengths_by_feature)
+            cplan = self._cached_retrieval(backend).plan_batch(batch)
+            return workloads, cplan
+        if lengths_by_feature is None:
+            if batch is None:
+                raise ValueError("need lengths_by_feature or batch")
+            lengths_by_feature = lengths_from_batch(batch)
+        return build_device_workloads(self.plan, lengths_by_feature), None
+
     def run_batch(
-        self, lengths_by_feature: Mapping[str, np.ndarray],
+        self, lengths_by_feature: Optional[Mapping[str, np.ndarray]] = None,
         backend: Optional[BackendName] = None,
+        *,
+        batch: Optional[SparseBatch] = None,
     ) -> PipelineTiming:
-        """Simulate one full inference batch; returns per-stage timing."""
-        workloads = build_device_workloads(self.plan, lengths_by_feature)
-        timing = PipelineTiming(batches=1)
+        """Simulate one full inference batch; returns per-stage timing.
+
+        Cached backends require ``batch`` (the cost model depends on the
+        index values); the uncached ones only need the jagged lengths.
+        """
         be = backend or self.backend
-        self.cluster.run(lambda cl: self._process(cl, workloads, timing, be))
+        workloads, cplan = self._plan_emb(lengths_by_feature, be, batch)
+        timing = PipelineTiming(batches=1)
+        self.cluster.run(
+            lambda cl: self._process(cl, workloads, timing, be, cached_plan=cplan)
+        )
         return timing
 
     def run_batches(self, lengths_iter, backend: Optional[BackendName] = None) -> PipelineTiming:
-        """Accumulate over an iterable of per-batch length maps."""
+        """Accumulate over an iterable of per-batch length maps (or, for
+        cached backends, :class:`~repro.dlrm.batch.SparseBatch` objects)."""
         total = PipelineTiming()
         for lengths in lengths_iter:
-            total.add(self.run_batch(lengths, backend))
+            if isinstance(lengths, SparseBatch):
+                total.add(self.run_batch(backend=backend, batch=lengths))
+            else:
+                total.add(self.run_batch(lengths, backend))
         return total
 
     def batch_process(
         self,
-        lengths_by_feature: Mapping[str, np.ndarray],
+        lengths_by_feature: Optional[Mapping[str, np.ndarray]],
         timing: PipelineTiming,
         backend: Optional[BackendName] = None,
+        *,
+        batch: Optional[SparseBatch] = None,
     ) -> ProcessGenerator:
         """Process generator for one batch — composable into larger host
         programs (the serving simulator interleaves these with request
         arrivals).  ``timing`` is filled at completion."""
-        workloads = build_device_workloads(self.plan, lengths_by_feature)
+        be = backend or self.backend
+        workloads, cplan = self._plan_emb(lengths_by_feature, be, batch)
         timing.batches = 1
-        return self._process(self.cluster, workloads, timing, backend or self.backend)
+        return self._process(self.cluster, workloads, timing, be, cached_plan=cplan)
 
     def run_batches_pipelined(
         self, lengths_iter, backend: Optional[BackendName] = None
@@ -249,6 +329,11 @@ class DLRMInferencePipeline:
         *less* than the sum of per-batch totals.
         """
         be = backend or self.backend
+        if backend_spec(be).requires_indices:
+            raise ValueError(
+                f"backend {be!r} is index-dependent; pipelined prefetch only "
+                "supports lengths-driven backends (use run_batches)"
+            )
         all_lengths = list(lengths_iter)
         if not all_lengths:
             return PipelineTiming()
@@ -300,6 +385,7 @@ class DLRMInferencePipeline:
         timing: PipelineTiming,
         backend: BackendName,
         copy_ops: Optional[list] = None,
+        cached_plan=None,
     ) -> ProcessGenerator:
         engine = cluster.engine
         t0 = engine.now
@@ -341,13 +427,17 @@ class DLRMInferencePipeline:
             yield engine.all_of([op.done for op in ops])
             return engine.now
 
-        retrieval = self._baseline if backend == "baseline" else self._pgas
         emb_timing = timing.emb
         emb_timing.batches = 1
         dense_proc = engine.process(dense_path(), name="dense_path")
-        emb_proc = engine.process(
-            retrieval.batch_process(cluster, workloads, emb_timing), name="emb_path"
-        )
+        if cached_plan is not None:
+            emb_gen = self._cached_retrieval(backend).batch_process(
+                cluster, cached_plan, emb_timing
+            )
+        else:
+            retrieval = self._baseline if backend == "baseline" else self._pgas
+            emb_gen = retrieval.batch_process(cluster, workloads, emb_timing)
+        emb_proc = engine.process(emb_gen, name="emb_path")
         # Compute may overlap the tail of a pipelined copy, but the batch is
         # not done until every input chunk has landed.
         yield engine.all_of([dense_proc, emb_proc] + [op.done for op in copy_ops])

@@ -1,9 +1,8 @@
-"""High-level distributed embedding retrieval API.
+"""High-level distributed embedding retrieval API and the backend registry.
 
 :class:`DistributedEmbedding` is the user-facing entry point (the analogue
 of the paper's PyTorch backend): configure tables, device count, and a
-backend (``"pgas"`` or ``"baseline"``), then call :meth:`forward` with a
-jagged batch.  It
+backend name, then call :meth:`forward` with a jagged batch.  It
 
 * builds the table-wise sharding plan and registers every table's weights
   with the per-device memory accountants (so paper-scale configurations
@@ -13,6 +12,15 @@ jagged batch.  It
 * optionally (``materialize=True``) holds real numpy weights and also runs
   the **functional** path, returning per-device output tensors that are
   bit-identical across backends.
+
+Backends are *registered*, not hard-coded: ``"pgas"`` and ``"baseline"``
+are built in here, and other packages add their own via
+:func:`register_backend` (``repro.cache`` registers ``"pgas+cache"`` and
+``"baseline+cache"``) without any call-site edits.  A backend is a factory
+producing a :class:`RetrievalBackend` adapter bound to one
+:class:`DistributedEmbedding`; adapters are created lazily per instance and
+kept alive across batches (which is what lets stateful backends, like the
+hot-row cache, stay warm between calls).
 
 Example
 -------
@@ -29,7 +37,17 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Literal, Mapping, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Literal,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -49,9 +67,109 @@ from .pgas_retrieval import PGASFusedRetrieval
 from .sharding import TableWiseSharding
 from .workload import DeviceWorkload, build_device_workloads, lengths_from_batch
 
-__all__ = ["BackendName", "ForwardResult", "DistributedEmbedding"]
+__all__ = [
+    "BackendName",
+    "BackendSpec",
+    "DistributedEmbedding",
+    "ForwardResult",
+    "RetrievalBackend",
+    "available_backends",
+    "backend_spec",
+    "register_backend",
+]
 
-BackendName = Literal["pgas", "baseline"]
+#: A registered backend name.  ``"pgas"`` and ``"baseline"`` are built in;
+#: ``repro.cache`` adds ``"pgas+cache"`` and ``"baseline+cache"``.
+BackendName = str
+
+
+class RetrievalBackend:
+    """Adapter contract one registered backend implements.
+
+    An adapter is bound to a single :class:`DistributedEmbedding` and lives
+    as long as it does, so backends may keep cross-batch state (the hot-row
+    cache relies on this).  ``requires_indices`` marks backends whose cost
+    model depends on the actual index values, not just the jagged lengths —
+    those cannot serve :meth:`DistributedEmbedding.forward_timed`.
+    """
+
+    requires_indices: bool = False
+
+    def run_timed(
+        self,
+        workloads: Sequence[DeviceWorkload],
+        batch: Optional[SparseBatch] = None,
+    ) -> PhaseTiming:
+        """Simulate one batch on the cluster; returns its phase timing."""
+        raise NotImplementedError
+
+    def functional_forward(self, batch: SparseBatch) -> List[np.ndarray]:
+        """Numpy forward: per-device ``(B_g, F, d)`` output tensors."""
+        raise NotImplementedError
+
+    def forward(
+        self,
+        workloads: Sequence[DeviceWorkload],
+        batch: Optional[SparseBatch],
+        functional: bool = False,
+    ) -> Tuple[PhaseTiming, Optional[List[np.ndarray]]]:
+        """Timed pass plus (when requested) the functional outputs.
+
+        Backends that derive both from shared per-batch state override this
+        to avoid doing that work twice.
+        """
+        timing = self.run_timed(workloads, batch=batch)
+        outputs = self.functional_forward(batch) if functional and batch is not None else None
+        return timing, outputs
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registry entry: how to build a named backend's adapter."""
+
+    name: str
+    factory: Callable[["DistributedEmbedding"], RetrievalBackend]
+    requires_indices: bool = False
+
+
+_BACKENDS: Dict[str, BackendSpec] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[["DistributedEmbedding"], RetrievalBackend],
+    *,
+    requires_indices: bool = False,
+    overwrite: bool = False,
+) -> BackendSpec:
+    """Register a retrieval backend under ``name``.
+
+    ``factory(emb)`` must return a :class:`RetrievalBackend` bound to the
+    given :class:`DistributedEmbedding`.  Registering an existing name
+    raises unless ``overwrite=True``.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if name in _BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} is already registered")
+    spec = BackendSpec(name=name, factory=factory, requires_indices=requires_indices)
+    _BACKENDS[name] = spec
+    return spec
+
+
+def backend_spec(name: str) -> BackendSpec:
+    """Look up a registered backend; unknown names raise ``ValueError``."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_BACKENDS)
 
 
 @dataclass
@@ -71,6 +189,53 @@ class ForwardResult:
         return self.timing.total_ns / 1e6
 
 
+class _PGASBackend(RetrievalBackend):
+    """Built-in adapter for the fused one-sided backend."""
+
+    def __init__(self, emb: "DistributedEmbedding"):
+        self._emb = emb
+        self._engine = PGASFusedRetrieval(emb.cluster, emb.pgas_spec)
+
+    def run_timed(
+        self,
+        workloads: Sequence[DeviceWorkload],
+        batch: Optional[SparseBatch] = None,
+    ) -> PhaseTiming:
+        """Run the fused kernel simulation for one batch."""
+        return self._engine.run_batch(workloads)
+
+    def functional_forward(self, batch: SparseBatch) -> List[np.ndarray]:
+        """One-sided-path numpy forward."""
+        assert self._emb.sharded is not None
+        return pgas_functional_forward(self._emb.sharded, batch)
+
+
+class _BaselineBackend(RetrievalBackend):
+    """Built-in adapter for the NCCL-collective baseline."""
+
+    def __init__(self, emb: "DistributedEmbedding"):
+        self._emb = emb
+        self._engine = BaselineRetrieval(emb.cluster, emb.collective_spec)
+
+    def run_timed(
+        self,
+        workloads: Sequence[DeviceWorkload],
+        batch: Optional[SparseBatch] = None,
+    ) -> PhaseTiming:
+        """Run the compute → all-to-all → unpack simulation for one batch."""
+        return self._engine.run_batch(workloads)
+
+    def functional_forward(self, batch: SparseBatch) -> List[np.ndarray]:
+        """Collective-path numpy forward (send blocks + unpack)."""
+        assert self._emb.sharded is not None
+        outputs, _blocks = baseline_functional_forward(self._emb.sharded, batch)
+        return outputs
+
+
+register_backend("pgas", _PGASBackend)
+register_backend("baseline", _BaselineBackend)
+
+
 class DistributedEmbedding:
     """Multi-GPU embedding retrieval with a pluggable communication backend."""
 
@@ -85,10 +250,12 @@ class DistributedEmbedding:
         materialize: bool = False,
         collective_spec: Optional[CollectiveSpec] = None,
         pgas_spec: Optional[PGASSpec] = None,
+        cache: Optional[object] = None,
         rng: Optional[np.random.Generator] = None,
     ):
-        if backend not in ("pgas", "baseline"):
-            raise ValueError(f"unknown backend {backend!r}")
+        """``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
+        ``"+cache"`` backends (ignored by the uncached ones)."""
+        backend_spec(backend)  # unknown names raise here
         if isinstance(tables, WorkloadConfig):
             table_configs = tables.table_configs()
         else:
@@ -101,6 +268,9 @@ class DistributedEmbedding:
             )
         self.plan = TableWiseSharding(table_configs, n_devices, strategy=sharding_strategy)
         self.plan.validate()
+        self.collective_spec = collective_spec
+        self.pgas_spec = pgas_spec
+        self.cache_config = cache
 
         # Register weight storage with the per-device memory accountants.
         self._weight_buffers = []
@@ -115,13 +285,12 @@ class DistributedEmbedding:
                     )
                 )
 
-        self._baseline = BaselineRetrieval(self.cluster, collective_spec)
-        self._pgas = PGASFusedRetrieval(self.cluster, pgas_spec)
-
         self.sharded: Optional[ShardedEmbeddingTables] = None
         if materialize:
             ebc = EmbeddingBagCollection.from_configs(table_configs, rng=rng)
             self.sharded = ShardedEmbeddingTables.from_collection(ebc, self.plan)
+
+        self._adapters: Dict[str, RetrievalBackend] = {}
 
     # -- properties -------------------------------------------------------------
 
@@ -139,6 +308,23 @@ class DistributedEmbedding:
         """Accounted embedding-weight bytes on one device."""
         return self.plan.memory_bytes(device_id)
 
+    @property
+    def cache(self) -> Optional[object]:
+        """The instance backend's cache engine, if it has one (else None)."""
+        adapter = self.backend_adapter(self.backend)
+        return adapter if getattr(adapter, "caches", None) is not None else None
+
+    # -- backend dispatch --------------------------------------------------------
+
+    def backend_adapter(self, name: Optional[BackendName] = None) -> RetrievalBackend:
+        """The (lazily created, then persistent) adapter for a backend."""
+        be = name or self.backend
+        adapter = self._adapters.get(be)
+        if adapter is None:
+            adapter = backend_spec(be).factory(self)
+            self._adapters[be] = adapter
+        return adapter
+
     # -- forward ----------------------------------------------------------------
 
     def build_workloads(
@@ -153,15 +339,11 @@ class DistributedEmbedding:
         ``backend`` overrides the instance default for this call — handy
         for A/B comparisons on identical inputs.
         """
-        be = backend or self.backend
+        adapter = self.backend_adapter(backend)
         workloads = self.build_workloads(lengths_from_batch(batch))
-        timing = self._run_timed(be, workloads)
-        outputs: Optional[List[np.ndarray]] = None
-        if self.sharded is not None:
-            if be == "baseline":
-                outputs, _blocks = baseline_functional_forward(self.sharded, batch)
-            else:
-                outputs = pgas_functional_forward(self.sharded, batch)
+        timing, outputs = adapter.forward(
+            workloads, batch, functional=self.sharded is not None
+        )
         return ForwardResult(timing=timing, outputs=outputs)
 
     def forward_timed(
@@ -170,13 +352,14 @@ class DistributedEmbedding:
         backend: Optional[BackendName] = None,
     ) -> PhaseTiming:
         """Timing-only forward from pooling factors (paper-scale safe)."""
+        be = backend or self.backend
+        adapter = self.backend_adapter(be)
+        if adapter.requires_indices:
+            raise ValueError(
+                f"backend {be!r} needs index values; use forward() with a SparseBatch"
+            )
         workloads = self.build_workloads(lengths_by_feature)
-        return self._run_timed(backend or self.backend, workloads)
-
-    def _run_timed(self, be: BackendName, workloads: List[DeviceWorkload]) -> PhaseTiming:
-        if be == "baseline":
-            return self._baseline.run_batch(workloads)
-        return self._pgas.run_batch(workloads)
+        return adapter.run_timed(workloads)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -33,19 +33,24 @@ from ..dlrm.data import SyntheticDataGenerator
 from ..simgpu.engine import Event, ProcessGenerator
 from ..simgpu.units import ms, us
 from .pipeline import DLRMInferencePipeline, PipelineTiming
-from .retrieval import BackendName
+from .retrieval import BackendName, backend_spec
 
 __all__ = ["ServingSpec", "ServingResult", "InferenceServer"]
 
 
 @dataclass(frozen=True)
 class ServingSpec:
-    """Load and batching policy."""
+    """Load and batching policy.
+
+    ``cache`` (a :class:`repro.cache.CacheConfig`) equips the pipeline's
+    ``"+cache"`` backends; it is ignored by the uncached ones.
+    """
 
     arrival_qps: float  #: mean request arrival rate (Poisson)
     max_batch: int = 256  #: batcher's size cap
     batch_window_ns: float = 2 * ms  #: max wait after the first queued request
     seed: int = 0
+    cache: Optional[object] = None  #: repro.cache.CacheConfig for cached backends
 
     def __post_init__(self) -> None:
         if self.arrival_qps <= 0:
@@ -116,6 +121,8 @@ class InferenceServer:
     def __init__(self, pipeline: DLRMInferencePipeline, spec: ServingSpec):
         self.pipeline = pipeline
         self.spec = spec
+        if spec.cache is not None:
+            pipeline.set_cache_config(spec.cache)
 
     def simulate(
         self, n_requests: int, backend: Optional[BackendName] = None
@@ -130,6 +137,8 @@ class InferenceServer:
         rng = np.random.default_rng(spec.seed)
         workload = pipeline.config.workload
         gen = SyntheticDataGenerator(workload)
+        be = backend or pipeline.backend
+        needs_indices = backend_spec(be).requires_indices
 
         queue: List[float] = []  # arrival times of waiting requests
         arrived = 0
@@ -170,12 +179,15 @@ class InferenceServer:
                 batch_arrivals = queue[:k]
                 del queue[:k]
                 batch_sizes.append(k)
-                lengths = gen.lengths_batch(batch_size=k)
                 timing = PipelineTiming()
-                yield engine.process(
-                    pipeline.batch_process(lengths, timing, backend),
-                    name="serve_batch",
-                )
+                if needs_indices:
+                    # Cached backends cost on index values, so draw them.
+                    sparse = gen.sparse_batch(batch_size=k)
+                    proc = pipeline.batch_process(None, timing, be, batch=sparse)
+                else:
+                    lengths = gen.lengths_batch(batch_size=k)
+                    proc = pipeline.batch_process(lengths, timing, be)
+                yield engine.process(proc, name="serve_batch")
                 done = engine.now
                 latencies.extend(done - a for a in batch_arrivals)
 

@@ -61,7 +61,10 @@ def chrome_trace(
     if counters and profiler.counters:
         t_end = max((s.t_end for s in profiler.spans), default=0.0)
         for cname, counter in profiler.counters.items():
-            if "." in cname:  # skip per-pair sub-counters: too many rows
+            # Skip per-pair sub-counters (too many rows) but keep the
+            # name-spaced per-device cache counters: Perfetto shows hit
+            # rate alongside the comm-volume row.
+            if "." in cname and not cname.startswith("cache."):
                 continue
             if t_end <= 0:
                 continue

@@ -9,7 +9,15 @@ import pytest
 
 import repro
 
-PACKAGES = ["repro", "repro.core", "repro.simgpu", "repro.comm", "repro.dlrm", "repro.bench"]
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.cache",
+    "repro.simgpu",
+    "repro.comm",
+    "repro.dlrm",
+    "repro.bench",
+]
 
 
 @pytest.mark.parametrize("pkg_name", PACKAGES)
