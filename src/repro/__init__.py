@@ -49,6 +49,17 @@ from .core import (
 # Importing repro.cache registers the "+cache" backends; keep it after core.
 from . import cache
 from .cache import CacheConfig, CachedRetrieval
+
+# Importing repro.faults registers the "+resilient" backends; keep it after
+# core and cache (the fallback path reuses the hot-row cache).
+from . import faults
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    ResilienceSpec,
+    ResilientRetrieval,
+)
 from .dlrm import (
     DLRM,
     DLRMConfig,
@@ -77,10 +88,15 @@ __all__ = [
     "EmbeddingBagCollection",
     "EmbeddingTable",
     "EmbeddingTableConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "ForwardResult",
     "JaggedField",
     "PGASFusedRetrieval",
     "PhaseTiming",
+    "ResilienceSpec",
+    "ResilientRetrieval",
     "RowWiseSharding",
     "ShardedEmbeddingTables",
     "SparseBatch",
@@ -94,5 +110,6 @@ __all__ = [
     "core",
     "dgx_v100",
     "dlrm",
+    "faults",
     "simgpu",
 ]

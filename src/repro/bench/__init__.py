@@ -12,6 +12,7 @@ from .cachesweep import (
     serving_cache_comparison,
 )
 from .capacity import CapacityPoint, CapacityStudy, run_capacity_study
+from .faultsweep import FaultSweepPoint, FaultSweepResult, run_fault_sweep
 from .commvolume import CommVolumeTrace, UNIT_BYTES, trace_comm_volume
 from .reporting import (
     ascii_series,
@@ -50,6 +51,9 @@ __all__ = [
     "CapacityPoint",
     "CapacityStudy",
     "run_capacity_study",
+    "FaultSweepPoint",
+    "FaultSweepResult",
+    "run_fault_sweep",
     "BreakdownResult",
     "CommVolumeTrace",
     "EXPERIMENT_IDS",

@@ -1,0 +1,183 @@
+"""Fault sweep: serving SLOs vs. fault severity, per backend.
+
+For each (severity, base backend) point the sweep builds a fresh cluster,
+installs a :class:`~repro.faults.FaultPlan` generated from the severity
+knob (same seed → same plan shape at every severity, scaled in depth),
+and serves a Poisson request stream through the ``"+resilient"`` wrapper
+of the base backend with a request deadline, load shedding, and hedged
+re-execution enabled.  Severity ``0.0`` is the healthy reference: an
+empty plan, where the wrapper reproduces the base backend exactly.
+
+The rendered table answers the deployment question the robustness work
+exists for: how do goodput, shed/degraded fractions, and tail latency
+decay as the fabric gets sicker — and does the PGAS backend keep its
+healthy-path advantage under fault?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.pipeline import DLRMInferencePipeline, PipelineConfig
+from ..core.serving import InferenceServer, ServingResult, ServingSpec
+from ..dlrm.data import WorkloadConfig
+from ..faults import FaultInjector, FaultPlan, ResilienceSpec
+from ..simgpu.units import ms
+from .reporting import format_table
+
+__all__ = ["FaultSweepPoint", "FaultSweepResult", "run_fault_sweep"]
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """One (severity, base backend) serving measurement."""
+
+    severity: float
+    base: str  #: underlying backend name ("pgas" or "baseline")
+    n_faults: int  #: windows in the installed plan
+    result: ServingResult
+
+    @property
+    def backend(self) -> str:
+        """The resilient backend name the point ran."""
+        return self.result.backend
+
+
+@dataclass
+class FaultSweepResult:
+    """A finished fault sweep."""
+
+    n_devices: int
+    n_requests: int
+    arrival_qps: float
+    deadline_ns: Optional[float]
+    points: List[FaultSweepPoint] = field(default_factory=list)
+
+    def point(self, severity: float, base: str) -> FaultSweepPoint:
+        """Look up one measured grid point."""
+        for p in self.points:
+            if p.severity == severity and p.base == base:
+                return p
+        raise KeyError(f"no point ({severity}, {base})")
+
+    def render(self) -> str:
+        """Text table of the sweep."""
+        rows = []
+        for p in self.points:
+            r = p.result
+            served = r.n_requests > 0
+            rows.append(
+                [
+                    f"{p.severity:g}",
+                    p.base,
+                    f"{p.n_faults}",
+                    f"{r.n_requests}/{r.n_offered}",
+                    f"{r.shed_fraction:.1%}",
+                    f"{r.degraded_fraction:.2%}",
+                    f"{r.emb_retries}",
+                    f"{r.emb_reroutes}",
+                    f"{r.n_hedged}",
+                    f"{r.deadline_hit_rate:.1%}" if served else "-",
+                    f"{r.p50_ms:.2f}" if served else "-",
+                    f"{r.p99_ms:.2f}" if served else "-",
+                    f"{r.goodput_qps:,.0f}" if served else "-",
+                ]
+            )
+        deadline = (
+            f"deadline {self.deadline_ns / ms:.2f} ms"
+            if self.deadline_ns is not None
+            else "no deadline"
+        )
+        return (
+            f"[fault sweep @ {self.n_devices} GPUs, {self.n_requests} requests, "
+            f"{self.arrival_qps:,.0f} qps, {deadline}]\n"
+            + format_table(
+                [
+                    "severity",
+                    "backend",
+                    "faults",
+                    "served",
+                    "shed",
+                    "degraded",
+                    "retries",
+                    "reroutes",
+                    "hedged",
+                    "hit rate",
+                    "p50 (ms)",
+                    "p99 (ms)",
+                    "goodput",
+                ],
+                rows,
+            )
+        )
+
+
+def run_fault_sweep(
+    base_config: WorkloadConfig,
+    severities: Sequence[float],
+    *,
+    bases: Sequence[str] = ("pgas", "baseline"),
+    n_devices: int = 4,
+    n_requests: int = 64,
+    arrival_qps: float = 50_000.0,
+    deadline_ns: Optional[float] = 10 * ms,
+    emb_deadline_ns: Optional[float] = 5 * ms,
+    queue_limit: Optional[int] = 512,
+    hedge_after_ns: Optional[float] = None,
+    max_batch: int = 8,
+    batch_window_ns: float = 0.2 * ms,
+    seed: int = 0,
+) -> FaultSweepResult:
+    """Serve a request stream at each fault severity with each base backend.
+
+    Every point gets a *fresh* pipeline (its own cluster: fault state
+    never leaks between points) and the same seeds, so the severity axis
+    is the only thing changing along a row.  ``emb_deadline_ns`` drives
+    the resilient wrapper's retry machinery; ``deadline_ns`` is the
+    request-level SLO being reported against.
+    """
+    if not severities:
+        raise ValueError("need at least one severity")
+    if not bases:
+        raise ValueError("need at least one base backend")
+    sweep = FaultSweepResult(
+        n_devices=n_devices,
+        n_requests=n_requests,
+        arrival_qps=arrival_qps,
+        deadline_ns=deadline_ns,
+    )
+    # Plan horizon: a little past the expected arrival span, so windows
+    # land inside the run instead of after it.
+    horizon_ns = max(n_requests * 1e9 / arrival_qps * 2.0, 2 * ms)
+    for severity in severities:
+        for base in bases:
+            pipeline = DLRMInferencePipeline(
+                PipelineConfig(workload=base_config),
+                n_devices,
+                backend=f"{base}+resilient",
+                resilience=ResilienceSpec(deadline_ns=emb_deadline_ns, seed=seed),
+            )
+            plan = FaultPlan.generate(
+                n_devices, horizon_ns, severity=severity, seed=seed
+            )
+            FaultInjector(pipeline.cluster, plan).install()
+            server = InferenceServer(
+                pipeline,
+                ServingSpec(
+                    arrival_qps=arrival_qps,
+                    max_batch=max_batch,
+                    batch_window_ns=batch_window_ns,
+                    seed=seed,
+                    deadline_ns=deadline_ns,
+                    queue_limit=queue_limit,
+                    hedge_after_ns=hedge_after_ns,
+                ),
+            )
+            result = server.simulate(n_requests)
+            sweep.points.append(
+                FaultSweepPoint(
+                    severity=severity, base=base, n_faults=len(plan), result=result
+                )
+            )
+    return sweep

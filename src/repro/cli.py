@@ -7,6 +7,7 @@ Commands
 ``run``         time one workload on both backends and print the phases
 ``sweep``       sweep a workload knob and print speedups per point
 ``cachesweep``  hot-row cache hit rate / comm / speedup vs skew and capacity
+``faultsweep``  serving SLOs (shed/degraded/p99/goodput) vs fault severity
 ``plan``        capacity-aware table placement for a Criteo-like table set
 ``trace``       run one batch and write a chrome://tracing JSON timeline
 """
@@ -85,6 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
     cs.add_argument("--batches", type=int, default=4, help="measured batches per point")
     cs.add_argument("--base", choices=("pgas", "baseline"), default="pgas",
                     help="underlying backend to wrap")
+
+    fs = sub.add_parser("faultsweep", help="serving SLOs vs fault severity")
+    _workload_args(fs)
+    fs.set_defaults(tables=8, rows=4096, dim=16, batch=512, pooling=4, gpus=4)
+    fs.add_argument("--severities", type=float, nargs="+", default=[0.0, 0.3, 0.6, 0.9],
+                    help="fault severities in [0, 1] (0 = healthy reference)")
+    fs.add_argument("--backends", nargs="+", choices=("pgas", "baseline"),
+                    default=["pgas", "baseline"], help="base backends to wrap")
+    fs.add_argument("--requests", type=int, default=48, help="requests per point")
+    fs.add_argument("--qps", type=float, default=50_000.0, help="offered load")
+    fs.add_argument("--deadline-ms", type=float, default=2.0,
+                    help="request SLO deadline (ms)")
+    fs.add_argument("--emb-deadline-ms", type=float, default=0.25,
+                    help="per-attempt EMB deadline driving retries (ms)")
+    fs.add_argument("--queue-limit", type=int, default=512,
+                    help="shed arrivals beyond this queue depth")
+    fs.add_argument("--hedge-ms", type=float, default=None,
+                    help="hedge batches running longer than this (ms)")
 
     pl = sub.add_parser("plan", help="capacity-aware table placement")
     pl.add_argument("--criteo-tables", type=int, default=26)
@@ -197,6 +216,28 @@ def _cmd_cachesweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsweep(args: argparse.Namespace) -> int:
+    from .bench.faultsweep import run_fault_sweep
+    from .simgpu.units import ms
+
+    cfg = _workload_from(args)
+    result = run_fault_sweep(
+        cfg,
+        severities=args.severities,
+        bases=args.backends,
+        n_devices=args.gpus,
+        n_requests=args.requests,
+        arrival_qps=args.qps,
+        deadline_ns=args.deadline_ms * ms,
+        emb_deadline_ns=args.emb_deadline_ms * ms,
+        queue_limit=args.queue_limit,
+        hedge_after_ns=args.hedge_ms * ms if args.hedge_ms is not None else None,
+        seed=args.seed,
+    )
+    print(result.render())
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     cfg = _workload_from(args)
     if args.zipf is not None:
@@ -220,6 +261,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
     "cachesweep": _cmd_cachesweep,
+    "faultsweep": _cmd_faultsweep,
     "plan": _cmd_plan,
     "trace": _cmd_trace,
 }

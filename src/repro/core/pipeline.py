@@ -129,6 +129,7 @@ class DLRMInferencePipeline:
         overlap_input_staging: bool = False,
         staging_chunks: int = 8,
         cache: Optional[object] = None,
+        resilience: Optional[object] = None,
     ):
         """``overlap_input_staging`` enables the paper's §V input-pipelining
         proposal: instead of waiting for the whole CPU-partitioned input to
@@ -138,7 +139,9 @@ class DLRMInferencePipeline:
         the copy is cut into ``staging_chunks`` pieces and the compute
         paths start after the first chunk, overlapping the rest.
         ``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
-        ``"+cache"`` backends."""
+        ``"+cache"`` backends; ``resilience`` is a
+        :class:`repro.faults.ResilienceSpec` consumed by the
+        ``"+resilient"`` backends."""
         backend_spec(backend)  # unknown names raise here
         if h2d_bandwidth <= 0:
             raise ValueError("h2d_bandwidth must be positive")
@@ -158,9 +161,11 @@ class DLRMInferencePipeline:
         self.collective_spec = collective_spec
         self.pgas_spec = pgas_spec
         self.cache_config = cache
+        self.resilience_config = resilience
         self._baseline = BaselineRetrieval(self.cluster, collective_spec)
         self._pgas = PGASFusedRetrieval(self.cluster, pgas_spec)
         self._cached: Dict[str, object] = {}
+        self._resilient: Dict[str, object] = {}
 
     # -- cached EMB engines -------------------------------------------------------
 
@@ -190,6 +195,46 @@ class DLRMInferencePipeline:
             )
             self._cached[backend] = engine
         return engine
+
+    # -- resilient EMB engines ----------------------------------------------------
+
+    def set_resilience(self, resilience: Optional[object]) -> None:
+        """Swap the resilience spec; existing resilient engines are dropped."""
+        for engine in self._resilient.values():
+            engine.release()
+        self._resilient.clear()
+        self.resilience_config = resilience
+
+    def _resilient_retrieval(self, backend: BackendName):
+        """The persistent resilient EMB engine for a ``"+resilient"`` backend."""
+        engine = self._resilient.get(backend)
+        if engine is None:
+            from ..faults import ResilienceSpec, ResilientRetrieval  # lazy: avoid cycle
+
+            if not backend.endswith("+resilient"):
+                raise ValueError(f"backend {backend!r} is not a resilient backend")
+            base = backend[: -len("+resilient")]
+            engine = ResilientRetrieval(
+                self.cluster,
+                self.plan,
+                self.resilience_config or ResilienceSpec(),
+                base=base,
+                collective_spec=self.collective_spec,
+                pgas_spec=self.pgas_spec,
+            )
+            self._resilient[backend] = engine
+        return engine
+
+    def pop_resilient_outcome(self, backend: Optional[BackendName] = None):
+        """The last batch's :class:`~repro.faults.BatchOutcome`, consumed.
+
+        ``None`` when the backend is not resilient or no batch ran since
+        the previous pop."""
+        be = backend or self.backend
+        engine = self._resilient.get(be)
+        if engine is None:
+            return None
+        return engine.pop_outcome()
 
     # -- cost helpers -----------------------------------------------------------
 
@@ -286,7 +331,7 @@ class DLRMInferencePipeline:
         workloads, cplan = self._plan_emb(lengths_by_feature, be, batch)
         timing = PipelineTiming(batches=1)
         self.cluster.run(
-            lambda cl: self._process(cl, workloads, timing, be, cached_plan=cplan)
+            lambda cl: self._process(cl, workloads, timing, be, cached_plan=cplan, batch=batch)
         )
         return timing
 
@@ -315,7 +360,7 @@ class DLRMInferencePipeline:
         be = backend or self.backend
         workloads, cplan = self._plan_emb(lengths_by_feature, be, batch)
         timing.batches = 1
-        return self._process(self.cluster, workloads, timing, be, cached_plan=cplan)
+        return self._process(self.cluster, workloads, timing, be, cached_plan=cplan, batch=batch)
 
     def run_batches_pipelined(
         self, lengths_iter, backend: Optional[BackendName] = None
@@ -386,6 +431,7 @@ class DLRMInferencePipeline:
         backend: BackendName,
         copy_ops: Optional[list] = None,
         cached_plan=None,
+        batch: Optional[SparseBatch] = None,
     ) -> ProcessGenerator:
         engine = cluster.engine
         t0 = engine.now
@@ -433,6 +479,10 @@ class DLRMInferencePipeline:
         if cached_plan is not None:
             emb_gen = self._cached_retrieval(backend).batch_process(
                 cluster, cached_plan, emb_timing
+            )
+        elif backend.endswith("+resilient"):
+            emb_gen = self._resilient_retrieval(backend).batch_process(
+                cluster, workloads, emb_timing, batch=batch
             )
         else:
             retrieval = self._baseline if backend == "baseline" else self._pgas

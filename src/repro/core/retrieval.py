@@ -251,10 +251,13 @@ class DistributedEmbedding:
         collective_spec: Optional[CollectiveSpec] = None,
         pgas_spec: Optional[PGASSpec] = None,
         cache: Optional[object] = None,
+        resilience: Optional[object] = None,
         rng: Optional[np.random.Generator] = None,
     ):
         """``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
-        ``"+cache"`` backends (ignored by the uncached ones)."""
+        ``"+cache"`` backends; ``resilience`` is a
+        :class:`repro.faults.ResilienceSpec` consumed by the
+        ``"+resilient"`` backends (each ignored by the other backends)."""
         backend_spec(backend)  # unknown names raise here
         if isinstance(tables, WorkloadConfig):
             table_configs = tables.table_configs()
@@ -271,6 +274,7 @@ class DistributedEmbedding:
         self.collective_spec = collective_spec
         self.pgas_spec = pgas_spec
         self.cache_config = cache
+        self.resilience_config = resilience
 
         # Register weight storage with the per-device memory accountants.
         self._weight_buffers = []

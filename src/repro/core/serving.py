@@ -1,4 +1,4 @@
-"""Inference-serving simulation: request queues, batching, tail latency.
+"""Inference-serving simulation: request queues, batching, tail latency, SLOs.
 
 The paper motivates its optimisation with inference economics (DLRM is
 "over 70% of inference time" at Meta, citing DeepRecSys), where what
@@ -16,41 +16,65 @@ communication sits directly on the tail.
   EMB backend, serially (one model replica);
 * per-request latency = completion − arrival.
 
+Resilient serving (used by the fault sweep) adds three SLO mechanisms:
+
+* **load shedding** — arrivals beyond ``queue_limit`` waiting requests
+  are rejected immediately instead of poisoning the whole queue's tail;
+* **hedged execution** — a batch still running ``hedge_after_ns`` after
+  launch (a straggler suspect) gets an identical hedge batch; the first
+  to finish serves the requests, the loser drains in the background,
+  occupying real simulated resources;
+* **degradation accounting** — with a ``"+resilient"`` EMB backend, each
+  batch's :class:`~repro.faults.BatchOutcome` (retries, reroutes,
+  zero-filled fraction) is folded into the result.
+
 :meth:`InferenceServer.simulate` returns a :class:`ServingResult` with the
-latency distribution, throughput, and queue statistics — the backend with
-the shorter EMB stage sustains visibly higher load before the queue (and
-the tail) blows up, which is what the serving example/bench demonstrates.
+latency distribution, throughput, shed/hedge/degradation counters, and an
+:meth:`~ServingResult.slo_report` summarising goodput vs. shed vs.
+degraded under fault.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from ..dlrm.data import SyntheticDataGenerator
 from ..simgpu.engine import Event, ProcessGenerator
-from ..simgpu.units import ms, us
+from ..simgpu.units import ms
 from .pipeline import DLRMInferencePipeline, PipelineTiming
 from .retrieval import BackendName, backend_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
+    from ..cache import CacheConfig
+    from ..faults import ResilienceSpec
 
 __all__ = ["ServingSpec", "ServingResult", "InferenceServer"]
 
 
 @dataclass(frozen=True)
 class ServingSpec:
-    """Load and batching policy.
+    """Load, batching, and SLO policy.
 
     ``cache`` (a :class:`repro.cache.CacheConfig`) equips the pipeline's
-    ``"+cache"`` backends; it is ignored by the uncached ones.
+    ``"+cache"`` backends; ``resilience`` (a
+    :class:`repro.faults.ResilienceSpec`) equips the ``"+resilient"``
+    ones.  Each is ignored by the other backends.  ``deadline_ns`` is the
+    per-request SLO used for the deadline-hit rate; ``queue_limit`` and
+    ``hedge_after_ns`` enable load shedding and hedged re-execution.
     """
 
     arrival_qps: float  #: mean request arrival rate (Poisson)
     max_batch: int = 256  #: batcher's size cap
     batch_window_ns: float = 2 * ms  #: max wait after the first queued request
     seed: int = 0
-    cache: Optional[object] = None  #: repro.cache.CacheConfig for cached backends
+    cache: Optional["CacheConfig"] = None
+    deadline_ns: Optional[float] = None  #: per-request SLO deadline
+    queue_limit: Optional[int] = None  #: shed arrivals beyond this queue depth
+    hedge_after_ns: Optional[float] = None  #: re-execute batches slower than this
+    resilience: Optional["ResilienceSpec"] = None
 
     def __post_init__(self) -> None:
         if self.arrival_qps <= 0:
@@ -59,6 +83,28 @@ class ServingSpec:
             raise ValueError("max_batch must be positive")
         if self.batch_window_ns < 0:
             raise ValueError("batch_window_ns must be non-negative")
+        if self.deadline_ns is not None and self.deadline_ns <= 0:
+            raise ValueError("deadline_ns must be positive (or None)")
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 (or None)")
+        if self.hedge_after_ns is not None and self.hedge_after_ns <= 0:
+            raise ValueError("hedge_after_ns must be positive (or None)")
+        if self.cache is not None:
+            from ..cache import CacheConfig  # lazy: avoid import cycle
+
+            if not isinstance(self.cache, CacheConfig):
+                raise TypeError(
+                    f"ServingSpec.cache must be a repro.cache.CacheConfig, "
+                    f"got {type(self.cache).__name__}"
+                )
+        if self.resilience is not None:
+            from ..faults import ResilienceSpec  # lazy: avoid import cycle
+
+            if not isinstance(self.resilience, ResilienceSpec):
+                raise TypeError(
+                    f"ServingSpec.resilience must be a repro.faults.ResilienceSpec, "
+                    f"got {type(self.resilience).__name__}"
+                )
 
     @property
     def mean_interarrival_ns(self) -> float:
@@ -74,14 +120,55 @@ class ServingResult:
     batch_sizes: List[int]
     sim_duration_ns: float
     backend: str
+    n_shed: int = 0  #: arrivals rejected by load shedding
+    n_hedged: int = 0  #: batches that got a hedge re-execution
+    deadline_ns: Optional[float] = None  #: the SLO the run was measured against
+    degraded_per_request: Optional[np.ndarray] = None  #: zero-filled bag share
+    emb_retries: int = 0  #: EMB deadline retries across all batches
+    emb_reroutes: int = 0  #: two-hop reroutes across all batches
+    emb_rerouted_bytes: float = 0.0
+    emb_deadline_misses: int = 0  #: batches that exhausted EMB retries
 
     @property
     def n_requests(self) -> int:
         """Requests served."""
         return int(self.latencies_ns.size)
 
+    @property
+    def n_offered(self) -> int:
+        """Requests offered (served + shed)."""
+        return self.n_requests + self.n_shed
+
+    @property
+    def shed_fraction(self) -> float:
+        """Share of offered requests rejected at admission."""
+        return self.n_shed / self.n_offered if self.n_offered else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Mean zero-filled bag share across served requests."""
+        if self.degraded_per_request is None or self.degraded_per_request.size == 0:
+            return 0.0
+        return float(np.mean(self.degraded_per_request))
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Share of served requests finishing within ``deadline_ns``.
+
+        1.0 when no deadline was configured (every request "hits").
+        """
+        if self.n_requests == 0:
+            return 0.0
+        if self.deadline_ns is None:
+            return 1.0
+        return float(np.mean(self.latencies_ns <= self.deadline_ns))
+
     def percentile_ms(self, q: float) -> float:
         """Latency percentile in milliseconds."""
+        if self.n_requests == 0:
+            raise ValueError(
+                "no requests were served (all shed?); latency percentiles undefined"
+            )
         return float(np.percentile(self.latencies_ns, q)) / ms
 
     @property
@@ -104,15 +191,68 @@ class ServingResult:
         """Served requests per (simulated) second."""
         if self.sim_duration_ns <= 0:
             return 0.0
+        if self.n_requests == 0:
+            raise ValueError(
+                "no requests were served (all shed?); throughput undefined"
+            )
         return self.n_requests / (self.sim_duration_ns / 1e9)
+
+    @property
+    def goodput_qps(self) -> float:
+        """Fully-served requests meeting the deadline, per second.
+
+        A request counts toward goodput when it was admitted, finished
+        within the deadline (if any), and had no zero-filled bags.
+        """
+        if self.sim_duration_ns <= 0 or self.n_requests == 0:
+            return 0.0
+        good = np.ones(self.n_requests, dtype=bool)
+        if self.deadline_ns is not None:
+            good &= self.latencies_ns <= self.deadline_ns
+        if self.degraded_per_request is not None and self.degraded_per_request.size:
+            good &= self.degraded_per_request == 0.0
+        return float(np.count_nonzero(good)) / (self.sim_duration_ns / 1e9)
 
     def summary(self) -> str:
         """One-line result."""
+        if self.n_requests == 0:
+            return f"{self.backend}: 0 reqs served ({self.n_shed} shed)"
         return (
             f"{self.backend}: {self.n_requests} reqs, p50 {self.p50_ms:.2f} ms, "
             f"p99 {self.p99_ms:.2f} ms, mean batch {self.mean_batch_size:.0f}, "
             f"{self.throughput_qps:,.0f} qps"
         )
+
+    def slo_report(self) -> str:
+        """Multi-line SLO summary: goodput vs. shed vs. degraded."""
+        lines = [
+            f"backend {self.backend}: offered {self.n_offered}, "
+            f"served {self.n_requests}, shed {self.n_shed} "
+            f"({100 * self.shed_fraction:.1f}%), hedged {self.n_hedged}"
+        ]
+        if self.n_requests:
+            dl = (
+                f"deadline {self.deadline_ns / ms:.2f} ms, "
+                f"hit-rate {100 * self.deadline_hit_rate:.1f}%"
+                if self.deadline_ns is not None
+                else "no deadline"
+            )
+            lines.append(
+                f"latency p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms ({dl})"
+            )
+            lines.append(
+                f"throughput {self.throughput_qps:,.0f} qps, "
+                f"goodput {self.goodput_qps:,.0f} qps"
+            )
+        else:
+            lines.append("no requests served")
+        lines.append(
+            f"degraded {100 * self.degraded_fraction:.2f}% of bags; emb retries "
+            f"{self.emb_retries}, reroutes {self.emb_reroutes} "
+            f"({self.emb_rerouted_bytes / 1e6:.2f} MB), "
+            f"deadline misses {self.emb_deadline_misses}"
+        )
+        return "\n".join(lines)
 
 
 class InferenceServer:
@@ -123,6 +263,8 @@ class InferenceServer:
         self.spec = spec
         if spec.cache is not None:
             pipeline.set_cache_config(spec.cache)
+        if spec.resilience is not None:
+            pipeline.set_resilience(spec.resilience)
 
     def simulate(
         self, n_requests: int, backend: Optional[BackendName] = None
@@ -139,31 +281,59 @@ class InferenceServer:
         gen = SyntheticDataGenerator(workload)
         be = backend or pipeline.backend
         needs_indices = backend_spec(be).requires_indices
+        resilient = be.endswith("+resilient")
 
         queue: List[float] = []  # arrival times of waiting requests
         arrived = 0
+        n_shed = 0
+        n_hedged = 0
         new_arrival: List[Event] = [engine.event("arrival")]
         latencies: List[float] = []
+        degraded: List[float] = []
         batch_sizes: List[int] = []
         t_start = engine.now
+        if resilient:
+            # Force-build the engine now so the outcome ledger exists.
+            outcome_start = len(pipeline._resilient_retrieval(be).outcomes)
 
         def arrivals() -> ProcessGenerator:
-            nonlocal arrived
+            nonlocal arrived, n_shed
             for _ in range(n_requests):
                 gap = rng.exponential(spec.mean_interarrival_ns)
                 yield engine.timeout(gap)
-                queue.append(engine.now)
                 arrived += 1
+                if spec.queue_limit is not None and len(queue) >= spec.queue_limit:
+                    # Admission control: reject instead of growing the tail.
+                    n_shed += 1
+                else:
+                    queue.append(engine.now)
+                # A shed arrival still pings the server so its loop
+                # condition (served + shed == offered) is re-checked.
                 ev = new_arrival[0]
                 if not ev.triggered:
                     ev.succeed()
 
+        def launch_batch(k: int):
+            """One timed pipeline run over a freshly drawn batch of size k."""
+            timing = PipelineTiming()
+            if needs_indices or (resilient and pipeline.resilience_config is not None):
+                # Index-dependent backends cost on the values; the resilient
+                # fallback cache also wants them when available.
+                sparse = gen.sparse_batch(batch_size=k)
+                proc = pipeline.batch_process(None, timing, be, batch=sparse)
+            else:
+                lengths = gen.lengths_batch(batch_size=k)
+                proc = pipeline.batch_process(lengths, timing, be)
+            return engine.process(proc, name="serve_batch")
+
         def server() -> ProcessGenerator:
-            while len(latencies) < n_requests:
+            nonlocal n_hedged
+            while len(latencies) + n_shed < n_requests:
                 if not queue:
                     ev = engine.event("arrival")
                     new_arrival[0] = ev
                     yield ev
+                    continue
                 # Batcher: wait for the window (or until the cap is full).
                 deadline = queue[0] + spec.batch_window_ns
                 while (
@@ -179,25 +349,44 @@ class InferenceServer:
                 batch_arrivals = queue[:k]
                 del queue[:k]
                 batch_sizes.append(k)
-                timing = PipelineTiming()
-                if needs_indices:
-                    # Cached backends cost on index values, so draw them.
-                    sparse = gen.sparse_batch(batch_size=k)
-                    proc = pipeline.batch_process(None, timing, be, batch=sparse)
+                proc = launch_batch(k)
+                if spec.hedge_after_ns is None:
+                    yield proc
                 else:
-                    lengths = gen.lengths_batch(batch_size=k)
-                    proc = pipeline.batch_process(lengths, timing, be)
-                yield engine.process(proc, name="serve_batch")
+                    yield engine.any_of([proc, engine.timeout(spec.hedge_after_ns)])
+                    if not proc.triggered:
+                        # Straggler suspect: race an identical hedge batch.
+                        # The loser keeps draining in the background,
+                        # occupying its streams and links.
+                        n_hedged += 1
+                        hedge = launch_batch(k)
+                        yield engine.any_of([proc, hedge])
                 done = engine.now
                 latencies.extend(done - a for a in batch_arrivals)
+                if resilient:
+                    outcome = pipeline.pop_resilient_outcome(be)
+                    frac = outcome.degraded_fraction if outcome is not None else 0.0
+                    degraded.extend([frac] * k)
 
         arr_proc = engine.process(arrivals(), name="arrivals")
         srv_proc = engine.process(server(), name="server")
         engine.run_until_event(srv_proc)
 
-        return ServingResult(
+        result = ServingResult(
             latencies_ns=np.array(latencies),
             batch_sizes=batch_sizes,
             sim_duration_ns=engine.now - t_start,
-            backend=backend or pipeline.backend,
+            backend=be,
+            n_shed=n_shed,
+            n_hedged=n_hedged,
+            deadline_ns=spec.deadline_ns,
+            degraded_per_request=np.array(degraded) if resilient else None,
         )
+        if resilient:
+            # Ledger totals include hedge losers that finished late.
+            outcomes = pipeline._resilient_retrieval(be).outcomes[outcome_start:]
+            result.emb_retries = sum(o.retries for o in outcomes)
+            result.emb_reroutes = sum(o.rerouted_pairs for o in outcomes)
+            result.emb_rerouted_bytes = sum(o.rerouted_bytes for o in outcomes)
+            result.emb_deadline_misses = sum(o.deadline_missed for o in outcomes)
+        return result

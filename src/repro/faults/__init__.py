@@ -1,0 +1,86 @@
+"""Fault injection and resilient serving for the retrieval stack.
+
+Real multi-GPU inference fleets see degraded NVLink lanes, flapping
+links, straggling devices, and transient stalls; a retrieval tier that
+crashes or blows every SLO the moment one is present is not deployable.
+This package provides:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan` / :class:`FaultEvent`:
+  deterministic, seedable schedules of fault windows (bandwidth derates,
+  latency spikes, link flaps, device slowdowns, stalls);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which plays a
+  plan onto a live cluster as engine callbacks, with every window
+  recorded as a profiler span (category ``"fault"``) visible in Chrome
+  traces;
+* :mod:`repro.faults.resilient` — :class:`ResilientRetrieval`, wrapping
+  either base backend with per-batch deadlines, retries with exponential
+  backoff, two-hop reroutes around downed links, and graceful
+  degradation (hot-row fallback cache, then zero-fill) instead of
+  failure.
+
+Importing this package registers the ``"pgas+resilient"`` and
+``"baseline+resilient"`` backends with the core registry, so
+
+>>> emb = DistributedEmbedding(cfg, n_devices=4, backend="pgas+resilient",
+...                            resilience=ResilienceSpec(deadline_ns=2 * ms))
+
+works exactly like the base backends (``repro`` imports it for you).
+With an empty plan and no deadline the wrapper is a zero-overhead
+pass-through.
+"""
+
+from __future__ import annotations
+
+from ..core.retrieval import register_backend
+from .injector import SPAN_CATEGORY, WINDOW_COUNTER, FaultInjector, pair_is_down
+from .plan import DEVICE_KINDS, FAULT_KINDS, LINK_KINDS, FaultEvent, FaultPlan
+from .resilient import BatchOutcome, ResilienceSpec, ResilientRetrieval
+
+__all__ = [
+    "BatchOutcome",
+    "DEVICE_KINDS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "LINK_KINDS",
+    "ResilienceSpec",
+    "ResilientRetrieval",
+    "SPAN_CATEGORY",
+    "WINDOW_COUNTER",
+    "pair_is_down",
+    "resilient_retrieval_for",
+]
+
+
+def resilient_retrieval_for(emb, base: str) -> ResilientRetrieval:
+    """Build a :class:`ResilientRetrieval` bound to a
+    :class:`~repro.core.retrieval.DistributedEmbedding` (the registry
+    factories' shared implementation)."""
+    spec = getattr(emb, "resilience_config", None)
+    if spec is not None and not isinstance(spec, ResilienceSpec):
+        raise TypeError(
+            f"DistributedEmbedding resilience must be a ResilienceSpec, "
+            f"got {type(spec).__name__}"
+        )
+    return ResilientRetrieval(
+        emb.cluster,
+        emb.plan,
+        spec or ResilienceSpec(),
+        base=base,
+        collective_spec=emb.collective_spec,
+        pgas_spec=emb.pgas_spec,
+        sharded=emb.sharded,
+    )
+
+
+register_backend(
+    "pgas+resilient",
+    lambda emb: resilient_retrieval_for(emb, "pgas"),
+    requires_indices=False,
+)
+register_backend(
+    "baseline+resilient",
+    lambda emb: resilient_retrieval_for(emb, "baseline"),
+    requires_indices=False,
+)

@@ -143,6 +143,23 @@ class Device:
         self.memory = MemoryPool(capacity=spec.mem_bytes, device_id=device_id)
         self._streams: Dict[str, "Stream"] = {}
         self._peers: Dict[int, bool] = {}
+        #: multiplicative kernel service-time factor (>= 1 while a
+        #: "straggler" fault window is active; exactly 1.0 when healthy)
+        self.slowdown = 1.0
+        #: transient-stall window end: kernels make no progress at wave
+        #: boundaries before this absolute time (-inf when healthy)
+        self.stalled_until = float("-inf")
+
+    # -- fault state -------------------------------------------------------------
+
+    def stall_until(self, t: float) -> None:
+        """Freeze kernel progress until absolute time ``t`` (extends only)."""
+        self.stalled_until = max(self.stalled_until, t)
+
+    @property
+    def is_degraded(self) -> bool:
+        """True while any device-level fault window is active."""
+        return self.slowdown != 1.0 or self.engine.now < self.stalled_until
 
     # -- streams ---------------------------------------------------------------
 

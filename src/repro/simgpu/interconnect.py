@@ -101,6 +101,13 @@ class Link:
     Transfers serialise: each reservation starts no earlier than the link's
     previous reservation finished.  Completion = start + wire/bandwidth +
     latency (latency is pipelined, charged once per transfer).
+
+    Fault state (driven by :class:`repro.faults.FaultInjector`) composes
+    multiplicatively/additively on top of the static :class:`LinkSpec`:
+    ``bandwidth_scale`` derates throughput, ``extra_latency_ns`` adds
+    propagation delay, and a downed link holds all traffic until
+    ``down_until``.  At the defaults (1.0 / 0.0 / -inf) the arithmetic is
+    bit-identical to the healthy model.
     """
 
     def __init__(self, engine: Engine, src: int, dst: int, spec: LinkSpec):
@@ -112,6 +119,40 @@ class Link:
         self.busy_time = 0.0
         self.bytes_carried = 0.0
         self.transfer_count = 0
+        self.bandwidth_scale = 1.0
+        self.extra_latency_ns = 0.0
+        self.down_until = float("-inf")
+
+    # -- fault state -------------------------------------------------------------
+
+    def degrade(self, bandwidth_scale: float = 1.0, extra_latency_ns: float = 0.0) -> None:
+        """Apply a multiplicative bandwidth derate / additive latency spike."""
+        if bandwidth_scale <= 0:
+            raise ValueError(f"bandwidth_scale must be positive, got {bandwidth_scale}")
+        if extra_latency_ns < 0:
+            raise ValueError(f"extra_latency_ns must be non-negative, got {extra_latency_ns}")
+        self.bandwidth_scale *= bandwidth_scale
+        self.extra_latency_ns += extra_latency_ns
+
+    def restore(self, bandwidth_scale: float = 1.0, extra_latency_ns: float = 0.0) -> None:
+        """Undo a matching :meth:`degrade` (fault window end)."""
+        if bandwidth_scale <= 0:
+            raise ValueError(f"bandwidth_scale must be positive, got {bandwidth_scale}")
+        self.bandwidth_scale /= bandwidth_scale
+        self.extra_latency_ns = max(self.extra_latency_ns - extra_latency_ns, 0.0)
+
+    def set_down_until(self, t: float) -> None:
+        """Down the link until absolute time ``t`` (extends, never shortens)."""
+        self.down_until = max(self.down_until, t)
+
+    def is_down(self, t: float) -> bool:
+        """True while the link is inside a down window at time ``t``."""
+        return t < self.down_until
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Bandwidth after the current fault derate."""
+        return self.spec.bandwidth * self.bandwidth_scale
 
     def transfer(
         self,
@@ -134,9 +175,10 @@ class Link:
             n_messages = 1
         else:
             n_messages = math.ceil(payload_bytes / message_bytes)
-        start = max(engine.now, self._free_at)
-        busy = wire / self.spec.bandwidth + n_messages * self.spec.per_message_ns
-        done_at = start + busy + self.spec.latency_ns
+        # A downed link queues traffic until it comes back up.
+        start = max(engine.now, self._free_at, self.down_until)
+        busy = wire / self.effective_bandwidth + n_messages * self.spec.per_message_ns
+        done_at = start + busy + self.spec.latency_ns + self.extra_latency_ns
         self._free_at = start + busy
         self.busy_time += busy
         self.bytes_carried += wire
@@ -244,6 +286,15 @@ class Interconnect:
             lk = Link(self.engine, src, dst, spec)
             self._links[key] = lk
         return lk
+
+    def peek_link(self, src: int, dst: int) -> Optional[Link]:
+        """The ``(src, dst)`` link if it has been instantiated, else None.
+
+        Unlike :meth:`link` this never creates the link — fault-state
+        queries use it so that merely *checking* a pair's health does not
+        materialise its Link object (which would perturb bookkeeping).
+        """
+        return self._links.get((src, dst))
 
     def transfer(
         self,

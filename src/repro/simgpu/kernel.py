@@ -175,6 +175,13 @@ def execute_kernel(
     per-wave work; ``on_wave`` (if given) runs at each wave's retirement —
     the injection point for PGAS one-sided messages.  The ``min_kernel_ns``
     floor and ``tail_ns`` are charged after the last wave.
+
+    Device fault state stretches the realised schedule: each wave's body
+    is scaled by ``device.slowdown`` *sampled at wave start* (a straggler
+    window that opens mid-kernel only slows the remaining waves), and a
+    ``device.stalled_until`` window freezes progress at wave boundaries.
+    :func:`kernel_time` reports the healthy duration, so it diverges from
+    the realised time only while a fault is active.
     """
     spec = device.spec
     engine = device.engine
@@ -186,8 +193,10 @@ def execute_kernel(
     conc = spec.concurrent_blocks
     n_waves = len(fracs)
     for w, frac in enumerate(fracs):
+        if engine.now < device.stalled_until:
+            yield engine.timeout(device.stalled_until - engine.now)
         t_start = engine.now
-        yield engine.timeout(body * frac)
+        yield engine.timeout(body * frac * device.slowdown)
         if on_wave is not None:
             lo = w * conc
             hi = min(lo + conc, kspec.num_blocks)
@@ -202,6 +211,8 @@ def execute_kernel(
                 )
             )
     # Epilogue: tail latency plus whatever is needed to respect the floor.
+    if engine.now < device.stalled_until:
+        yield engine.timeout(device.stalled_until - engine.now)
     elapsed = engine.now - t0
     remaining = max(spec.min_kernel_ns - elapsed, 0.0) + kspec.tail_ns
     if remaining > 0:

@@ -62,9 +62,9 @@ def chrome_trace(
         t_end = max((s.t_end for s in profiler.spans), default=0.0)
         for cname, counter in profiler.counters.items():
             # Skip per-pair sub-counters (too many rows) but keep the
-            # name-spaced per-device cache counters: Perfetto shows hit
-            # rate alongside the comm-volume row.
-            if "." in cname and not cname.startswith("cache."):
+            # name-spaced per-device cache and fault counters: Perfetto
+            # shows hit rate / fault activity alongside the comm-volume row.
+            if "." in cname and not cname.startswith(("cache.", "faults.")):
                 continue
             if t_end <= 0:
                 continue
