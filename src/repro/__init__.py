@@ -20,6 +20,9 @@ Packages
     synthetic data.
 :mod:`repro.bench`
     Experiment harness regenerating every table and figure of §IV.
+:mod:`repro.telemetry`
+    Derived gauges, paper-facing metrics (overlap, burstiness), and the
+    versioned :class:`~repro.telemetry.RunReport` JSON artifact.
 
 Quickstart
 ----------
@@ -32,7 +35,7 @@ Quickstart
 >>> result = emb.forward(batch)
 """
 
-from . import comm, core, dlrm, simgpu
+from . import comm, core, dlrm, simgpu, telemetry
 from .core import (
     BackendName,
     BaselineRetrieval,
@@ -72,6 +75,7 @@ from .dlrm import (
     WorkloadConfig,
 )
 from .simgpu import Cluster, DeviceSpec, dgx_v100
+from .telemetry import MetricsRegistry, RunReport, collect_run_report
 
 __version__ = "0.1.0"
 
@@ -93,8 +97,10 @@ __all__ = [
     "FaultPlan",
     "ForwardResult",
     "JaggedField",
+    "MetricsRegistry",
     "PGASFusedRetrieval",
     "PhaseTiming",
+    "RunReport",
     "ResilienceSpec",
     "ResilientRetrieval",
     "RowWiseSharding",
@@ -106,10 +112,12 @@ __all__ = [
     "__version__",
     "available_backends",
     "cache",
+    "collect_run_report",
     "comm",
     "core",
     "dgx_v100",
     "dlrm",
     "faults",
     "simgpu",
+    "telemetry",
 ]

@@ -41,6 +41,12 @@ from .scaling import (
     run_strong_scaling,
     run_weak_scaling,
 )
+from .telemetry import (
+    MetricsComparison,
+    preset_workload,
+    run_metrics,
+    validate_metrics_json,
+)
 
 __all__ = [
     "BreakdownBar",
@@ -54,6 +60,10 @@ __all__ = [
     "FaultSweepPoint",
     "FaultSweepResult",
     "run_fault_sweep",
+    "MetricsComparison",
+    "preset_workload",
+    "run_metrics",
+    "validate_metrics_json",
     "BreakdownResult",
     "CommVolumeTrace",
     "EXPERIMENT_IDS",

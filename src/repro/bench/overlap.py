@@ -89,8 +89,7 @@ def analyze_overlap(profiler: Profiler) -> OverlapReport:
         counter = profiler.counters.get(name)
         if counter is None:
             continue
-        counter._ensure_sorted()
-        for t, delta in counter._events:
+        for t, delta in counter.events():
             total += delta
             for lo, hi in intervals:
                 if lo <= t <= hi:

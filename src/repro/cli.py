@@ -10,6 +10,7 @@ Commands
 ``faultsweep``  serving SLOs (shed/degraded/p99/goodput) vs fault severity
 ``plan``        capacity-aware table placement for a Criteo-like table set
 ``trace``       run one batch and write a chrome://tracing JSON timeline
+``metrics``     pgas-vs-baseline telemetry metrics + BENCH_metrics.json
 """
 
 from __future__ import annotations
@@ -125,6 +126,29 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--zipf", type=float, default=None,
                     help="zipf skew for the traced batch (cached backends profit)")
     tr.add_argument("--output", default="repro_trace.json")
+    tr.add_argument("--counters", action=argparse.BooleanOptionalAction, default=True,
+                    help="include raw counter tracks (--no-counters for spans only)")
+    tr.add_argument("--telemetry", action="store_true",
+                    help="also export derived telemetry.* gauge tracks")
+
+    mt = sub.add_parser("metrics",
+                        help="pgas-vs-baseline telemetry metrics + BENCH_metrics.json")
+    mt.add_argument("--preset", choices=("tiny", "weak", "strong"), default="weak",
+                    help="workload preset (weak = paper §IV-A per-GPU rule)")
+    mt.add_argument("--gpus", type=int, default=2, help="simulated GPU count")
+    mt.add_argument("--batches", type=int, default=1, help="batches per backend")
+    mt.add_argument("--scale", type=float, default=1.0,
+                    help="batch-size scale factor (1.0 = paper size)")
+    mt.add_argument("--backends", nargs="+", default=["pgas", "baseline"],
+                    help="backends to compare")
+    mt.add_argument("--bins", type=int, default=240,
+                    help="sample-grid resolution for the derived gauges")
+    mt.add_argument("--output", default="BENCH_metrics.json",
+                    help="machine-readable artifact path ('' to skip)")
+    mt.add_argument("--series", action=argparse.BooleanOptionalAction, default=True,
+                    help="include per-bin gauge series in the artifact")
+    mt.add_argument("--seed", type=int, default=None,
+                    help="workload seed override (default: preset's)")
 
     return ap
 
@@ -248,10 +272,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         t = emb.forward(gen.sparse_batch()).timing
     else:
         t = emb.forward_timed(gen.lengths_batch())
-    write_chrome_trace(emb.cluster.profiler, args.output)
+    if args.telemetry:
+        from .telemetry import write_chrome_trace_with_telemetry
+
+        write_chrome_trace_with_telemetry(
+            emb.cluster.profiler, args.output,
+            n_devices=args.gpus, counters=args.counters,
+        )
+    else:
+        write_chrome_trace(emb.cluster.profiler, args.output, counters=args.counters)
     print(f"simulated {to_ms(t.total_ns):.3f} ms ({args.backend}, {args.gpus} GPUs)")
     print(summarize_spans(emb.cluster.profiler))
-    print(f"trace written to {args.output} (open in chrome://tracing)")
+    print(f"trace written to {args.output} (open in chrome://tracing; "
+          f"fault windows appear as instant events)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.telemetry import run_metrics, validate_metrics_json
+
+    comparison = run_metrics(
+        args.preset,
+        n_devices=args.gpus,
+        backends=args.backends,
+        n_batches=args.batches,
+        scale=args.scale,
+        n_bins=args.bins,
+        include_series=args.series,
+        seed=args.seed,
+    )
+    print(comparison.render())
+    if args.output:
+        comparison.write_json(args.output)
+        # Self-check: the artifact we just wrote must round-trip the schema.
+        with open(args.output) as fh:
+            validate_metrics_json(json.load(fh))
+        print(f"wrote {args.output} (schema-valid, "
+              f"{len(comparison.reports)} backend reports)")
     return 0
 
 
@@ -264,6 +323,7 @@ _COMMANDS = {
     "faultsweep": _cmd_faultsweep,
     "plan": _cmd_plan,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

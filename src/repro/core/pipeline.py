@@ -112,6 +112,20 @@ class PipelineTiming:
         exposed_emb = max(self.emb.total_ns - self.dense_mlp_ns, 0.0)
         return exposed_emb / self.total_ns
 
+    def as_dict(self) -> Dict[str, float]:
+        """Flat plain-dict view (EMB phases nested under ``emb.`` keys)."""
+        out: Dict[str, float] = {
+            "input_copy_ns": self.input_copy_ns,
+            "dense_mlp_ns": self.dense_mlp_ns,
+            "interaction_top_ns": self.interaction_top_ns,
+            "overlap_saved_ns": self.overlap_saved_ns,
+            "total_ns": self.total_ns,
+            "batches": float(self.batches),
+        }
+        for key, value in self.emb.as_dict().items():
+            out[f"emb.{key}"] = value
+        return out
+
 
 class DLRMInferencePipeline:
     """Full-model timed inference with a pluggable EMB backend."""
@@ -512,3 +526,25 @@ class DLRMInferencePipeline:
         timing.input_copy_ns = t1 - t0
         timing.interaction_top_ns = t3 - t2
         timing.total_ns = t3 - t0
+
+    # -- telemetry --------------------------------------------------------------
+
+    def telemetry_report(self, timing: Optional[PipelineTiming] = None, **kwargs):
+        """:class:`~repro.telemetry.RunReport` of the batches run so far.
+
+        Captures the whole-pipeline profiler record (input staging, dense
+        path, EMB, interaction) plus any cache/fault counters the active
+        backend stamped.  Extra ``kwargs`` pass to
+        :func:`repro.telemetry.collect_run_report`.
+        """
+        from ..telemetry import collect_run_report
+
+        return collect_run_report(
+            self.cluster.profiler,
+            backend=self.backend,
+            n_devices=self.cluster.n_devices,
+            workload=self.config.workload,
+            timing=timing,
+            topology=self.cluster.topology,
+            **kwargs,
+        )

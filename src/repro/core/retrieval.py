@@ -365,6 +365,35 @@ class DistributedEmbedding:
         workloads = self.build_workloads(lengths_by_feature)
         return adapter.run_timed(workloads)
 
+    # -- telemetry --------------------------------------------------------------
+
+    def telemetry_report(
+        self,
+        timing: Optional[PhaseTiming] = None,
+        *,
+        workload: Optional[WorkloadConfig] = None,
+        **kwargs,
+    ):
+        """Full :class:`~repro.telemetry.RunReport` of the batches run so far.
+
+        Derives gauges and metrics from the cluster's profiler record (so
+        call it *after* the forward passes of interest; ``reset_profiler``
+        between phases isolates them).  ``timing`` attaches an accumulated
+        :class:`PhaseTiming`; extra ``kwargs`` pass to
+        :func:`repro.telemetry.collect_run_report`.
+        """
+        from ..telemetry import collect_run_report
+
+        return collect_run_report(
+            self.cluster.profiler,
+            backend=self.backend,
+            n_devices=self.n_devices,
+            workload=workload,
+            timing=timing,
+            topology=self.cluster.topology,
+            **kwargs,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"<DistributedEmbedding backend={self.backend} G={self.n_devices} "

@@ -44,6 +44,7 @@ import numpy as np
 from ..dlrm.data import SyntheticDataGenerator
 from ..simgpu.engine import Event, ProcessGenerator
 from ..simgpu.units import ms
+from ..telemetry.report import QUEUE_DEPTH_COUNTER
 from .pipeline import DLRMInferencePipeline, PipelineTiming
 from .retrieval import BackendName, backend_spec
 
@@ -254,6 +255,31 @@ class ServingResult:
         )
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """Plain-dict view for the telemetry :class:`~repro.telemetry.RunReport`."""
+        served = self.n_requests > 0
+        return {
+            "backend": self.backend,
+            "n_requests": self.n_requests,
+            "n_offered": self.n_offered,
+            "n_shed": self.n_shed,
+            "n_hedged": self.n_hedged,
+            "shed_fraction": self.shed_fraction,
+            "sim_duration_ns": float(self.sim_duration_ns),
+            "mean_batch_size": self.mean_batch_size,
+            "p50_ms": self.p50_ms if served else None,
+            "p99_ms": self.p99_ms if served else None,
+            "throughput_qps": self.throughput_qps if served else 0.0,
+            "goodput_qps": self.goodput_qps,
+            "deadline_ns": self.deadline_ns,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "degraded_fraction": self.degraded_fraction,
+            "emb_retries": self.emb_retries,
+            "emb_reroutes": self.emb_reroutes,
+            "emb_rerouted_bytes": float(self.emb_rerouted_bytes),
+            "emb_deadline_misses": self.emb_deadline_misses,
+        }
+
 
 class InferenceServer:
     """One model replica serving a Poisson request stream."""
@@ -275,6 +301,7 @@ class InferenceServer:
         pipeline = self.pipeline
         cluster = pipeline.cluster
         engine = cluster.engine
+        profiler = cluster.profiler
         spec = self.spec
         rng = np.random.default_rng(spec.seed)
         workload = pipeline.config.workload
@@ -307,6 +334,9 @@ class InferenceServer:
                     n_shed += 1
                 else:
                     queue.append(engine.now)
+                    profiler.add_count(
+                        QUEUE_DEPTH_COUNTER, engine.now, 1.0, unit="requests"
+                    )
                 # A shed arrival still pings the server so its loop
                 # condition (served + shed == offered) is re-checked.
                 ev = new_arrival[0]
@@ -348,6 +378,9 @@ class InferenceServer:
                 k = min(len(queue), spec.max_batch)
                 batch_arrivals = queue[:k]
                 del queue[:k]
+                profiler.add_count(
+                    QUEUE_DEPTH_COUNTER, engine.now, -float(k), unit="requests"
+                )
                 batch_sizes.append(k)
                 proc = launch_batch(k)
                 if spec.hedge_after_ns is None:

@@ -511,6 +511,28 @@ class ResilientRetrieval(RetrievalBackend):
         outcome, self.last_outcome = self.last_outcome, None
         return outcome
 
+    def ledger_totals(self) -> Dict[str, float]:
+        """Lifetime resilience totals across every batch, as a plain dict.
+
+        This is the fault-side payload of a telemetry
+        :class:`~repro.telemetry.RunReport` — it complements the
+        ``faults.*`` profiler counters (which only record *non-zero*
+        deltas) with exact per-ledger sums including healthy batches.
+        """
+        outcomes = self.outcomes
+        return {
+            "batches": float(len(outcomes)),
+            "attempts": float(sum(o.attempts for o in outcomes)),
+            "retries": float(sum(o.retries for o in outcomes)),
+            "rerouted_pairs": float(sum(o.rerouted_pairs for o in outcomes)),
+            "rerouted_bytes": float(sum(o.rerouted_bytes for o in outcomes)),
+            "degraded_bags": float(sum(o.degraded_bags for o in outcomes)),
+            "cache_served_bags": float(sum(o.cache_served_bags for o in outcomes)),
+            "total_bags": float(sum(o.total_bags for o in outcomes)),
+            "deadline_misses": float(sum(o.deadline_missed for o in outcomes)),
+            "healthy_batches": float(sum(o.healthy for o in outcomes)),
+        }
+
     # -- functional path ---------------------------------------------------------
 
     def functional_forward(self, batch: SparseBatch) -> List[np.ndarray]:

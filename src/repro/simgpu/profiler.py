@@ -79,29 +79,44 @@ class Counter:
             total += d
         return total
 
+    def events(self) -> List[Tuple[float, float]]:
+        """Time-sorted ``(time, delta)`` events (a copy; safe to iterate)."""
+        self._ensure_sorted()
+        return list(self._events)
+
+    def values_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value_at` over an array of sample instants."""
+        times = np.asarray(times, dtype=np.float64)
+        self._ensure_sorted()
+        if not self._events:
+            return np.zeros_like(times)
+        ev_t = np.array([e[0] for e in self._events])
+        ev_c = np.cumsum([e[1] for e in self._events])
+        idx = np.searchsorted(ev_t, times, side="right") - 1
+        return np.where(idx >= 0, ev_c[np.maximum(idx, 0)], 0.0)
+
     def sample(
         self, t_start: float, t_end: float, period: float
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Poll the counter every ``period`` ns over ``[t_start, t_end]``.
 
         Returns ``(times, cumulative_values)`` — the paper's Figs. 7/10
-        series.  The final sample lands exactly on ``t_end``.
+        series.  The final sample lands exactly on ``t_end``.  A zero-width
+        window (``t_start == t_end``) or an empty counter yields a single
+        zero sample at ``t_start`` rather than an empty or degenerate
+        series, so downstream rate/occupancy math never divides by a
+        zero-width bin.
         """
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         if t_end < t_start:
             raise ValueError("t_end < t_start")
         self._ensure_sorted()
+        if t_end == t_start or not self._events:
+            return np.array([t_start], dtype=np.float64), np.array([0.0])
         times = np.arange(t_start, t_end, period, dtype=np.float64)
         times = np.append(times, t_end)
-        if self._events:
-            ev_t = np.array([e[0] for e in self._events])
-            ev_c = np.cumsum([e[1] for e in self._events])
-            idx = np.searchsorted(ev_t, times, side="right") - 1
-            vals = np.where(idx >= 0, ev_c[np.maximum(idx, 0)], 0.0)
-        else:
-            vals = np.zeros_like(times)
-        return times, vals
+        return times, self.values_at(times)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Counter {self.name!r} total={self.total:.0f}{self.unit}>"
@@ -139,13 +154,14 @@ class Profiler:
         """Total duration of all spans of ``category`` (per device if given)."""
         return sum(s.duration for s in self.spans_by_category(category, device_id))
 
-    def category_wall_time(self, category: str) -> float:
+    def category_wall_time(self, category: str, device_id: Optional[int] = None) -> float:
         """Wall-clock extent (union, merged) of a category across devices.
 
         Overlapping spans are merged so concurrent per-device work counts
-        once — this is what the paper's per-phase wall times report.
+        once — this is what the paper's per-phase wall times report.  With
+        ``device_id`` given, only that device's spans are merged.
         """
-        spans = sorted(self.spans_by_category(category), key=lambda s: s.t_start)
+        spans = sorted(self.spans_by_category(category, device_id), key=lambda s: s.t_start)
         total = 0.0
         cur_start: Optional[float] = None
         cur_end = 0.0

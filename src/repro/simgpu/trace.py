@@ -49,6 +49,14 @@ def chrome_trace(
     for span in profiler.spans:
         events.append(_span_event(span))
         device_ids.add(span.device_id if span.device_id >= 0 else 9999)
+        if span.category == "fault":
+            # Fault windows also land as instant events, so Perfetto marks
+            # the window edge even when the span row is collapsed.
+            pid = span.device_id if span.device_id >= 0 else 9999
+            events.append(
+                {"name": span.name, "cat": "fault", "ph": "i", "s": "g",
+                 "ts": to_us(span.t_start), "pid": pid, "tid": 0}
+            )
 
     # Process name metadata rows.
     for pid in sorted(device_ids):
@@ -62,9 +70,10 @@ def chrome_trace(
         t_end = max((s.t_end for s in profiler.spans), default=0.0)
         for cname, counter in profiler.counters.items():
             # Skip per-pair sub-counters (too many rows) but keep the
-            # name-spaced per-device cache and fault counters: Perfetto
-            # shows hit rate / fault activity alongside the comm-volume row.
-            if "." in cname and not cname.startswith(("cache.", "faults.")):
+            # name-spaced per-device cache, fault, and serving counters:
+            # Perfetto shows hit rate / fault activity / queue depth
+            # alongside the comm-volume row.
+            if "." in cname and not cname.startswith(("cache.", "faults.", "serving.")):
                 continue
             if t_end <= 0:
                 continue
@@ -85,14 +94,40 @@ def write_chrome_trace(profiler: Profiler, path: str, **kwargs: Any) -> None:
 
 
 def summarize_spans(profiler: Profiler) -> str:
-    """Per-category totals (sum and merged wall time) as a text table."""
+    """Per-category totals (sum and merged wall time) as a text table.
+
+    Each category gets a ``total`` row (all devices merged); categories
+    whose spans land on more than one device also get per-device rows, so
+    concurrent per-device work keeps its attribution instead of collapsing
+    into one aggregate.  Device ``-1`` (host / fabric spans) prints as
+    ``host``.
+    """
     categories = sorted({s.category for s in profiler.spans})
-    lines = [f"{'category':16s} {'spans':>6s} {'sum (us)':>12s} {'wall (us)':>12s}"]
+    lines = [
+        f"{'category':16s} {'device':>6s} {'spans':>6s} "
+        f"{'sum (us)':>12s} {'wall (us)':>12s}"
+    ]
+
+    def row(cat: str, dev_label: str, spans: list, sum_ns: float, wall_ns: float) -> str:
+        return (
+            f"{cat:16s} {dev_label:>6s} {len(spans):6d} "
+            f"{to_us(sum_ns):12.1f} {to_us(wall_ns):12.1f}"
+        )
+
     for cat in categories:
         spans = profiler.spans_by_category(cat)
         lines.append(
-            f"{cat:16s} {len(spans):6d} "
-            f"{to_us(profiler.category_time(cat)):12.1f} "
-            f"{to_us(profiler.category_wall_time(cat)):12.1f}"
+            row(cat, "total", spans,
+                profiler.category_time(cat), profiler.category_wall_time(cat))
         )
+        devices = sorted({s.device_id for s in spans})
+        if len(devices) > 1:
+            for d in devices:
+                dspans = profiler.spans_by_category(cat, device_id=d)
+                label = f"dev{d}" if d >= 0 else "host"
+                lines.append(
+                    row("", label, dspans,
+                        profiler.category_time(cat, d),
+                        profiler.category_wall_time(cat, d))
+                )
     return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Derived-gauge counter tracks for the Chrome/Perfetto trace.
+
+The base :func:`repro.simgpu.trace.chrome_trace` already exports raw
+cumulative counters; this module adds the *derived* telemetry gauges —
+aggregate comm rate, per-device compute occupancy, serving queue depth —
+as additional ``'C'`` counter tracks (named ``telemetry.*``) so the
+timeline view shows the paper's Figs. 7/10 series right next to the span
+rows.  Fault windows are already rendered as instant events by the base
+exporter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..simgpu.profiler import Profiler
+from ..simgpu.trace import chrome_trace
+from ..simgpu.units import to_us
+from .report import QUEUE_DEPTH_COUNTER
+from .timeline import (
+    TimeSeries,
+    comm_rate_series,
+    compute_occupancy_series,
+    gauge_series,
+    run_window,
+    sample_edges,
+)
+
+__all__ = [
+    "TELEMETRY_PID",
+    "chrome_trace_with_telemetry",
+    "telemetry_trace_events",
+    "write_chrome_trace_with_telemetry",
+]
+
+#: synthetic pid that groups the derived-gauge tracks in the trace viewer
+TELEMETRY_PID = 9998
+
+
+def _counter_events(series: TimeSeries) -> List[Dict[str, Any]]:
+    """One 'C' event per bin for a derived gauge."""
+    name = f"telemetry.{series.name}"
+    return [
+        {
+            "name": name,
+            "ph": "C",
+            "ts": to_us(float(t)),
+            "pid": TELEMETRY_PID,
+            "args": {name: float(v)},
+        }
+        for t, v in zip(series.times, series.values)
+    ]
+
+
+def telemetry_trace_events(
+    profiler: Profiler, *, n_devices: int, n_bins: int = 240
+) -> List[Dict[str, Any]]:
+    """Derived-gauge counter tracks plus their process-name metadata row."""
+    t0, t1 = run_window(profiler)
+    if t1 <= t0:
+        return []
+    edges = sample_edges(t0, t1, n_bins)
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TELEMETRY_PID,
+            "tid": 0,
+            "args": {"name": "telemetry (derived gauges)"},
+        }
+    ]
+    events.extend(_counter_events(comm_rate_series(profiler, edges)))
+    for dev in range(n_devices):
+        events.extend(_counter_events(compute_occupancy_series(profiler, edges, dev)))
+    depth = profiler.counters.get(QUEUE_DEPTH_COUNTER)
+    if depth is not None:
+        events.extend(_counter_events(gauge_series(depth, edges, name="queue_depth")))
+    return events
+
+
+def chrome_trace_with_telemetry(
+    profiler: Profiler, *, n_devices: int, n_bins: int = 240, **kwargs: Any
+) -> Dict[str, Any]:
+    """The base chrome trace plus the ``telemetry.*`` gauge tracks.
+
+    ``kwargs`` pass through to :func:`repro.simgpu.trace.chrome_trace`
+    (e.g. ``counters=False`` keeps only the derived tracks).
+    """
+    trace = chrome_trace(profiler, **kwargs)
+    trace["traceEvents"].extend(
+        telemetry_trace_events(profiler, n_devices=n_devices, n_bins=n_bins)
+    )
+    return trace
+
+
+def write_chrome_trace_with_telemetry(
+    profiler: Profiler, path: str, *, n_devices: int, **kwargs: Any
+) -> None:
+    """Serialise :func:`chrome_trace_with_telemetry` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(
+            chrome_trace_with_telemetry(profiler, n_devices=n_devices, **kwargs), fh
+        )

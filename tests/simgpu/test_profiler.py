@@ -92,6 +92,38 @@ class TestCounter:
         times, vals = c.sample(0.0, 10.0, 1.0)
         assert np.all(vals == 0.0)
 
+    def test_sample_zero_width_window_single_zero_sample(self):
+        # Regression: t_start == t_end used to return the cumulative value
+        # (a degenerate one-point series); now it is a single zero sample.
+        c = Counter("bytes")
+        c.add(2.0, 10.0)
+        times, vals = c.sample(5.0, 5.0, 1.0)
+        assert times.tolist() == [5.0]
+        assert vals.tolist() == [0.0]
+
+    def test_sample_empty_counter_single_zero_sample(self):
+        # Regression: an empty counter used to return a full zero grid.
+        c = Counter("bytes")
+        times, vals = c.sample(0.0, 10.0, 1.0)
+        assert times.tolist() == [0.0]
+        assert vals.tolist() == [0.0]
+
+    def test_events_sorted_copy(self):
+        c = Counter("bytes")
+        c.add(20.0, 5.0)
+        c.add(10.0, 7.0)
+        evs = c.events()
+        assert evs == [(10.0, 7.0), (20.0, 5.0)]
+        evs.append((99.0, 1.0))  # mutating the copy must not leak back
+        assert c.total == 12.0
+
+    def test_values_at_vectorized(self):
+        c = Counter("bytes")
+        c.add(10.0, 100.0)
+        c.add(20.0, 50.0)
+        vals = c.values_at(np.array([5.0, 10.0, 15.0, 25.0]))
+        assert vals.tolist() == [0.0, 100.0, 100.0, 150.0]
+
     def test_sample_bad_args(self):
         c = Counter("bytes")
         with pytest.raises(ValueError):

@@ -62,6 +62,29 @@ class TestChromeTrace:
         assert trace["traceEvents"] == []
 
 
+class TestFaultInstants:
+    def test_fault_windows_become_instant_events(self):
+        p = sample_profiler()
+        p.record_span("link_degrade", "fault", -1, 500.0, 900.0)
+        trace = chrome_trace(p, counters=False)
+        instants = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+        assert len(instants) == 1
+        (ev,) = instants
+        assert ev["name"] == "link_degrade"
+        assert ev["cat"] == "fault"
+        assert ev["s"] == "g"  # global scope: a full-height marker line
+        assert ev["ts"] == pytest.approx(0.5)  # window start, in us
+        # the fault window itself still exists as a complete span
+        assert any(
+            e.get("ph") == "X" and e["cat"] == "fault"
+            for e in trace["traceEvents"]
+        )
+
+    def test_no_instants_without_faults(self):
+        trace = chrome_trace(sample_profiler(), counters=False)
+        assert not [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+
+
 class TestSummary:
     def test_summarize_spans(self):
         text = summarize_spans(sample_profiler())
@@ -69,6 +92,33 @@ class TestSummary:
         assert "comm" in text
         # compute: two spans, sum 2100 ns = 2.1 us, wall merged 1.2 us
         assert " 2 " in text
+
+    def test_per_device_rows(self):
+        # Regression: categories spanning several devices used to collapse
+        # into one aggregate row, losing device attribution.
+        text = summarize_spans(sample_profiler())
+        lines = text.splitlines()
+        compute_total = next(ln for ln in lines if ln.startswith("compute"))
+        assert "total" in compute_total
+        assert any("dev0" in ln for ln in lines)
+        assert any("dev1" in ln for ln in lines)
+        # single-device categories keep just their total row
+        assert not any("host" in ln for ln in lines)
+
+    def test_per_device_wall_attribution(self):
+        p = Profiler()
+        p.record_span("k0", "compute", 0, 0.0, 1000.0)
+        p.record_span("k1", "compute", 1, 0.0, 3000.0)
+        text = summarize_spans(p)
+        dev1 = next(ln for ln in text.splitlines() if "dev1" in ln)
+        assert "3.0" in dev1  # 3000 ns = 3.0 us, this device's own wall
+
+    def test_deviceless_rows_print_as_host(self):
+        p = Profiler()
+        p.record_span("k0", "compute", 0, 0.0, 10.0)
+        p.record_span("a2a", "compute", -1, 0.0, 10.0)
+        text = summarize_spans(p)
+        assert any("host" in ln for ln in text.splitlines())
 
     def test_empty(self):
         assert "category" in summarize_spans(Profiler())

@@ -1,0 +1,74 @@
+"""Tests for the derived-gauge trace exporter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.simgpu.profiler import Profiler
+from repro.telemetry import (
+    QUEUE_DEPTH_COUNTER,
+    TELEMETRY_PID,
+    chrome_trace_with_telemetry,
+    telemetry_trace_events,
+    write_chrome_trace_with_telemetry,
+)
+
+
+def sample_profiler() -> Profiler:
+    p = Profiler()
+    p.record_span("kernel0", "compute", 0, 0.0, 1000.0)
+    p.record_span("kernel1", "compute", 1, 100.0, 1200.0)
+    p.add_count("comm_bytes", 500.0, 4096.0)
+    return p
+
+
+class TestTelemetryEvents:
+    def test_tracks_present(self):
+        events = telemetry_trace_events(sample_profiler(), n_devices=2, n_bins=10)
+        names = {e["name"] for e in events if e.get("ph") == "C"}
+        assert "telemetry.comm_rate" in names
+        assert "telemetry.compute_occupancy.dev0" in names
+        assert "telemetry.compute_occupancy.dev1" in names
+
+    def test_all_on_telemetry_pid(self):
+        events = telemetry_trace_events(sample_profiler(), n_devices=2, n_bins=10)
+        assert events and all(e["pid"] == TELEMETRY_PID for e in events)
+
+    def test_metadata_row(self):
+        events = telemetry_trace_events(sample_profiler(), n_devices=1, n_bins=10)
+        meta = [e for e in events if e.get("ph") == "M"]
+        assert len(meta) == 1
+        assert meta[0]["args"]["name"] == "telemetry (derived gauges)"
+
+    def test_queue_depth_track_only_when_present(self):
+        p = sample_profiler()
+        events = telemetry_trace_events(p, n_devices=1, n_bins=10)
+        assert not any("queue_depth" in e["name"] for e in events)
+        p.add_count(QUEUE_DEPTH_COUNTER, 10.0, 1.0, unit="requests")
+        events = telemetry_trace_events(p, n_devices=1, n_bins=10)
+        assert any(e["name"] == "telemetry.queue_depth" for e in events)
+
+    def test_empty_profiler_no_events(self):
+        assert telemetry_trace_events(Profiler(), n_devices=2) == []
+
+
+class TestCombinedTrace:
+    def test_extends_base_trace(self):
+        trace = chrome_trace_with_telemetry(
+            sample_profiler(), n_devices=2, n_bins=10, counters=False
+        )
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        gauges = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("ph") == "C" and e["name"].startswith("telemetry.")
+        ]
+        assert spans and gauges
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace_with_telemetry(sample_profiler(), str(path), n_devices=2)
+        data = json.loads(path.read_text())
+        assert any(
+            e.get("name", "").startswith("telemetry.") for e in data["traceEvents"]
+        )

@@ -1,0 +1,203 @@
+"""Tests for the RunReport schema, round-trip, and collection."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.retrieval import DistributedEmbedding
+from repro.dlrm.data import SyntheticDataGenerator, WorkloadConfig
+from repro.simgpu.profiler import Profiler
+from repro.telemetry import (
+    QUEUE_DEPTH_COUNTER,
+    ReportValidationError,
+    RunReport,
+    collect_run_report,
+    validate_report,
+)
+
+SMALL = WorkloadConfig(
+    num_tables=8, rows_per_table=2048, dim=16, batch_size=512, max_pooling=8
+)
+
+
+@pytest.fixture(scope="module")
+def real_report() -> RunReport:
+    emb = DistributedEmbedding(SMALL, 2, backend="pgas")
+    timing = emb.forward_timed(SyntheticDataGenerator(SMALL).lengths_batch())
+    return collect_run_report(
+        emb.cluster.profiler,
+        backend="pgas",
+        n_devices=2,
+        workload=SMALL,
+        timing=timing,
+        topology=emb.cluster.topology,
+        meta={"note": "unit-test"},
+    )
+
+
+class TestRoundTrip:
+    def test_bit_exact_round_trip(self, real_report):
+        text = real_report.to_json()
+        assert RunReport.from_json(text).to_json() == text
+
+    def test_round_trip_with_indent(self, real_report):
+        text = real_report.to_json(indent=2)
+        back = RunReport.from_json(text)
+        assert back.to_json(indent=2) == text
+
+    def test_json_is_sorted_and_plain(self, real_report):
+        data = json.loads(real_report.to_json())
+        assert list(data) == sorted(data)
+        # numpy leaked into the artifact would break canonical serialisation
+        def no_numpy(obj):
+            if isinstance(obj, dict):
+                return all(no_numpy(v) for v in obj.values())
+            if isinstance(obj, list):
+                return all(no_numpy(v) for v in obj)
+            return not isinstance(obj, np.generic)
+
+        assert no_numpy(data)
+
+    def test_synthetic_report_round_trip(self):
+        r = RunReport(backend="baseline", n_devices=4)
+        r.metrics["x"] = {"value": 1.0, "unit": "ns", "description": ""}
+        text = r.to_json()
+        assert RunReport.from_json(text).to_json() == text
+
+
+class TestValidation:
+    def make_valid(self) -> dict:
+        return RunReport(
+            backend="pgas",
+            n_devices=2,
+            metrics={"m": {"value": 1.0, "unit": "ns", "description": "d"}},
+        ).as_dict()
+
+    def test_valid_passes(self):
+        validate_report(self.make_valid())
+
+    def test_not_a_dict(self):
+        with pytest.raises(ReportValidationError):
+            validate_report([1, 2, 3])
+
+    @pytest.mark.parametrize("key", ["schema_version", "backend", "n_devices", "metrics"])
+    def test_missing_required_key(self, key):
+        data = self.make_valid()
+        del data[key]
+        with pytest.raises(ReportValidationError, match=key):
+            validate_report(data)
+
+    def test_unknown_key_rejected(self):
+        data = self.make_valid()
+        data["surprise"] = {}
+        with pytest.raises(ReportValidationError, match="surprise"):
+            validate_report(data)
+
+    def test_wrong_type(self):
+        data = self.make_valid()
+        data["backend"] = 42
+        with pytest.raises(ReportValidationError, match="backend"):
+            validate_report(data)
+
+    def test_bool_is_not_a_number(self):
+        data = self.make_valid()
+        data["metrics"]["m"]["value"] = True
+        with pytest.raises(ReportValidationError, match="number"):
+            validate_report(data)
+
+    def test_bad_schema_version(self):
+        data = self.make_valid()
+        data["schema_version"] = 99
+        with pytest.raises(ReportValidationError, match="schema_version"):
+            validate_report(data)
+
+    def test_bad_n_devices(self):
+        data = self.make_valid()
+        data["n_devices"] = 0
+        with pytest.raises(ReportValidationError, match="n_devices"):
+            validate_report(data)
+
+    def test_metric_missing_unit(self):
+        data = self.make_valid()
+        data["metrics"]["m"] = {"value": 1.0}
+        with pytest.raises(ReportValidationError, match="unit"):
+            validate_report(data)
+
+    def test_timing_must_be_numeric(self):
+        data = self.make_valid()
+        data["timing"] = {"total_ns": "fast"}
+        with pytest.raises(ReportValidationError, match="timing"):
+            validate_report(data)
+
+    def test_fault_window_needs_bounds(self):
+        data = self.make_valid()
+        data["faults"] = {"windows": [{"name": "nic_flap"}], "counters": {}}
+        with pytest.raises(ReportValidationError, match="t_start_ns"):
+            validate_report(data)
+
+
+class TestCollection:
+    def test_real_report_contents(self, real_report):
+        assert real_report.backend == "pgas"
+        assert real_report.n_devices == 2
+        assert real_report.workload["num_tables"] == 8
+        assert real_report.timing  # phase timing attached
+        assert 0.0 <= real_report.metric("overlap_fraction") <= 1.0
+        assert real_report.links, "expected per-link stats"
+        for stats in real_report.links.values():
+            assert stats["bytes"] > 0
+        assert real_report.meta == {"note": "unit-test"}
+
+    def test_series_toggle(self, real_report):
+        assert "comm_rate" in real_report.series
+        assert "compute_occupancy.dev0" in real_report.series
+        emb = DistributedEmbedding(SMALL, 2, backend="pgas")
+        emb.forward_timed(SyntheticDataGenerator(SMALL).lengths_batch())
+        slim = collect_run_report(
+            emb.cluster.profiler, backend="pgas", n_devices=2, include_series=False
+        )
+        assert slim.series == {}
+        assert slim.metrics  # metrics survive the toggle
+
+    def test_queue_depth_series_when_counter_present(self):
+        p = Profiler()
+        p.record_span("k", "compute", 0, 0.0, 100.0)
+        p.add_count(QUEUE_DEPTH_COUNTER, 10.0, 1.0, unit="requests")
+        p.add_count(QUEUE_DEPTH_COUNTER, 50.0, -1.0, unit="requests")
+        r = collect_run_report(p, backend="pgas", n_devices=1)
+        assert QUEUE_DEPTH_COUNTER in r.series
+        assert r.series[QUEUE_DEPTH_COUNTER]["unit"] == "requests"
+
+    def test_fault_windows_collected(self):
+        p = Profiler()
+        p.record_span("k", "compute", 0, 0.0, 100.0)
+        p.record_span("link_degrade", "fault", -1, 20.0, 60.0)
+        p.add_count("faults.injected", 20.0, 1.0)
+        r = collect_run_report(p, backend="pgas", n_devices=1)
+        assert len(r.faults["windows"]) == 1
+        window = r.faults["windows"][0]
+        assert window["name"] == "link_degrade"
+        assert window["t_start_ns"] == 20.0 and window["t_end_ns"] == 60.0
+        assert r.faults["counters"] == {"faults.injected": 1.0}
+        validate_report(r.as_dict())
+
+    def test_cache_counters_collected(self):
+        p = Profiler()
+        p.record_span("k", "compute", 0, 0.0, 100.0)
+        p.add_count("cache.hits", 10.0, 7.0)
+        p.add_count("cache.misses", 10.0, 3.0)
+        r = collect_run_report(p, backend="pgas", n_devices=1)
+        assert r.cache == {"cache.hits": 7.0, "cache.misses": 3.0}
+
+    def test_registry_view(self, real_report):
+        reg = real_report.registry
+        assert reg.value("overlap_fraction") == real_report.metric("overlap_fraction")
+
+    def test_bad_payload_type_raises(self):
+        p = Profiler()
+        p.record_span("k", "compute", 0, 0.0, 100.0)
+        with pytest.raises(TypeError):
+            collect_run_report(p, backend="pgas", n_devices=1, workload=object())

@@ -88,6 +88,49 @@ class TestTrace:
         assert code == 0
         assert "baseline" in out
 
+    def test_no_counters_drops_counter_tracks(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        code, _ = run_cli(
+            capsys, "trace", *SMALL, "--no-counters", "--output", str(out_path)
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert not [e for e in data["traceEvents"] if e.get("ph") == "C"]
+
+    def test_telemetry_adds_gauge_tracks(self, capsys, tmp_path):
+        out_path = tmp_path / "t.json"
+        code, _ = run_cli(
+            capsys, "trace", *SMALL, "--telemetry", "--output", str(out_path)
+        )
+        assert code == 0
+        data = json.loads(out_path.read_text())
+        assert any(
+            e.get("name", "").startswith("telemetry.") for e in data["traceEvents"]
+        )
+
+
+class TestMetrics:
+    def test_tiny_preset_writes_valid_artifact(self, capsys, tmp_path):
+        from repro.bench.telemetry import validate_metrics_json
+
+        out_path = tmp_path / "BENCH_metrics.json"
+        code, out = run_cli(
+            capsys, "metrics", "--preset", "tiny", "--no-series",
+            "--output", str(out_path),
+        )
+        assert code == 0
+        assert "overlap fraction" in out
+        assert "pgas" in out and "baseline" in out
+        assert "schema-valid" in out
+        validate_metrics_json(json.loads(out_path.read_text()))
+
+    def test_skip_output(self, capsys):
+        code, out = run_cli(
+            capsys, "metrics", "--preset", "tiny", "--no-series", "--output", ""
+        )
+        assert code == 0
+        assert "wrote" not in out
+
 
 class TestReproduce:
     def test_single_artifact_small(self, capsys):
