@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Continuous batching: goodput vs. in-flight batch depth K.
+
+A sequential server (K=1) leaves the interconnect idle between batches:
+while one batch's dense compute finishes, no embedding traffic flows.
+The continuous-batching scheduler keeps up to K batches in flight on
+separate stream sets, so batch i+1's embedding retrieval overlaps batch
+i's tail.  This example sweeps K at a saturating arrival rate and prints
+goodput, the queue/form/execute latency split, and the interconnect-idle
+share the extra depth reclaims — everything configured through one
+:class:`~repro.core.RunSpec`.
+
+Run:  python examples/continuous_batching.py
+"""
+
+from __future__ import annotations
+
+from repro.core import InferenceServer, RunSpec, SchedulerSpec, ServingSpec
+from repro.core.runspec import preset_runspec
+from repro.simgpu.units import ms
+
+
+def main() -> None:
+    base = preset_runspec("tiny", n_devices=2)
+    n_requests = 64
+    qps = 300_000.0
+    print(f"continuous batching on 2 simulated GPUs (tiny preset: "
+          f"{base.workload.num_tables} tables, d={base.workload.dim}); "
+          f"{n_requests} requests at {qps:,.0f} qps, max batch 8\n")
+    header = (f"{'backend':>9} {'K':>3} {'p99 (ms)':>9} {'form (ms)':>10} "
+              f"{'queue (ms)':>11} {'exec (ms)':>10} {'goodput':>9} "
+              f"{'idle (ms)':>10}")
+    print(header)
+    for backend in ("baseline", "pgas"):
+        for k in (1, 2, 4):
+            spec = RunSpec(
+                workload=base.workload,
+                n_devices=2,
+                backend=backend,
+                name=f"k{k}",
+                serving=ServingSpec(
+                    arrival_qps=qps, max_batch=8, batch_window_ns=0.1 * ms,
+                    seed=3, scheduler=SchedulerSpec(max_in_flight=k),
+                ),
+            )
+            res = InferenceServer.from_spec(spec).simulate(n_requests)
+            print(f"{backend:>9} {k:>3} {res.p99_ms:>9.3f} "
+                  f"{res.mean_form_ns / ms:>10.3f} "
+                  f"{res.mean_queue_ns / ms:>11.3f} "
+                  f"{res.mean_execute_ns / ms:>10.3f} "
+                  f"{res.goodput_qps:>9,.0f} "
+                  f"{res.interconnect_idle_ns / ms:>10.3f}")
+    print("\nAt K=1 requests spend most of their life queued behind the one"
+          "\nbatch slot.  Raising K converts that queueing delay into overlap:"
+          "\nthe interconnect sits idle for less wall-clock time and goodput"
+          "\nclimbs, until the replica's compute is the bottleneck.  The"
+          "\nfunctional outputs are bit-identical at every K — the scheduler"
+          "\nchanges when work runs, never what it computes.")
+
+
+if __name__ == "__main__":
+    main()

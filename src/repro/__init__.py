@@ -37,16 +37,23 @@ Quickstart
 
 from . import comm, core, dlrm, simgpu, telemetry
 from .core import (
+    BackendInfo,
     BackendName,
     BaselineRetrieval,
+    DLRMInferencePipeline,
     DistributedEmbedding,
     ForwardResult,
+    InferenceServer,
     PGASFusedRetrieval,
     PhaseTiming,
     RowWiseSharding,
+    RunSpec,
+    SchedulerSpec,
+    ServingSpec,
     ShardedEmbeddingTables,
     TableWiseSharding,
     available_backends,
+    preset_runspec,
 )
 
 # Importing repro.cache registers the "+cache" backends; keep it after core.
@@ -80,6 +87,7 @@ from .telemetry import MetricsRegistry, RunReport, collect_run_report
 __version__ = "0.1.0"
 
 __all__ = [
+    "BackendInfo",
     "BackendName",
     "BaselineRetrieval",
     "CacheConfig",
@@ -87,8 +95,10 @@ __all__ = [
     "Cluster",
     "DLRM",
     "DLRMConfig",
+    "DLRMInferencePipeline",
     "DeviceSpec",
     "DistributedEmbedding",
+    "InferenceServer",
     "EmbeddingBagCollection",
     "EmbeddingTable",
     "EmbeddingTableConfig",
@@ -104,6 +114,9 @@ __all__ = [
     "ResilienceSpec",
     "ResilientRetrieval",
     "RowWiseSharding",
+    "RunSpec",
+    "SchedulerSpec",
+    "ServingSpec",
     "ShardedEmbeddingTables",
     "SparseBatch",
     "SyntheticDataGenerator",
@@ -111,6 +124,7 @@ __all__ = [
     "WorkloadConfig",
     "__version__",
     "available_backends",
+    "preset_runspec",
     "cache",
     "collect_run_report",
     "comm",

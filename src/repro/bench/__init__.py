@@ -41,6 +41,12 @@ from .scaling import (
     run_strong_scaling,
     run_weak_scaling,
 )
+from .servesweep import (
+    ServeSweepPoint,
+    ServeSweepResult,
+    run_serve_sweep,
+    validate_servesweep_json,
+)
 from .telemetry import (
     MetricsComparison,
     preset_workload,
@@ -79,6 +85,10 @@ __all__ = [
     "pooling_sweep",
     "table_count_sweep",
     "ScalingResult",
+    "ServeSweepPoint",
+    "ServeSweepResult",
+    "run_serve_sweep",
+    "validate_servesweep_json",
     "UNIT_BYTES",
     "ascii_series",
     "breakdown_from_scaling",

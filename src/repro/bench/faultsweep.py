@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..core.pipeline import DLRMInferencePipeline, PipelineConfig
-from ..core.serving import InferenceServer, ServingResult, ServingSpec
+from ..core.pipeline import DLRMInferencePipeline
+from ..core.runspec import RunSpec
+from ..core.serving import InferenceServer, SchedulerSpec, ServingResult, ServingSpec
 from ..dlrm.data import WorkloadConfig
 from ..faults import FaultInjector, FaultPlan, ResilienceSpec
 from ..simgpu.units import ms
@@ -128,6 +129,7 @@ def run_fault_sweep(
     max_batch: int = 8,
     batch_window_ns: float = 0.2 * ms,
     seed: int = 0,
+    scheduler: Optional[SchedulerSpec] = None,
 ) -> FaultSweepResult:
     """Serve a request stream at each fault severity with each base backend.
 
@@ -135,7 +137,8 @@ def run_fault_sweep(
     never leaks between points) and the same seeds, so the severity axis
     is the only thing changing along a row.  ``emb_deadline_ns`` drives
     the resilient wrapper's retry machinery; ``deadline_ns`` is the
-    request-level SLO being reported against.
+    request-level SLO being reported against.  ``scheduler`` optionally
+    enables continuous batching at every point (default: sequential).
     """
     if not severities:
         raise ValueError("need at least one severity")
@@ -152,19 +155,12 @@ def run_fault_sweep(
     horizon_ns = max(n_requests * 1e9 / arrival_qps * 2.0, 2 * ms)
     for severity in severities:
         for base in bases:
-            pipeline = DLRMInferencePipeline(
-                PipelineConfig(workload=base_config),
-                n_devices,
+            spec = RunSpec(
+                workload=base_config,
+                n_devices=n_devices,
                 backend=f"{base}+resilient",
                 resilience=ResilienceSpec(deadline_ns=emb_deadline_ns, seed=seed),
-            )
-            plan = FaultPlan.generate(
-                n_devices, horizon_ns, severity=severity, seed=seed
-            )
-            FaultInjector(pipeline.cluster, plan).install()
-            server = InferenceServer(
-                pipeline,
-                ServingSpec(
+                serving=ServingSpec(
                     arrival_qps=arrival_qps,
                     max_batch=max_batch,
                     batch_window_ns=batch_window_ns,
@@ -173,7 +169,14 @@ def run_fault_sweep(
                     queue_limit=queue_limit,
                     hedge_after_ns=hedge_after_ns,
                 ),
+                scheduler=scheduler,
             )
+            pipeline = DLRMInferencePipeline.from_spec(spec)
+            plan = FaultPlan.generate(
+                n_devices, horizon_ns, severity=severity, seed=seed
+            )
+            FaultInjector(pipeline.cluster, plan).install()
+            server = InferenceServer.from_spec(spec, pipeline=pipeline)
             result = server.simulate(n_requests)
             sweep.points.append(
                 FaultSweepPoint(

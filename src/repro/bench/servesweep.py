@@ -1,0 +1,249 @@
+"""Serving sweep: continuous-batching goodput across (backend, QPS, K, policy).
+
+For each grid point the sweep builds a fresh pipeline from one
+:class:`~repro.core.runspec.RunSpec`, serves a Poisson request stream
+through the continuous-batching scheduler, and records the
+:class:`~repro.core.serving.ServingResult` — latency percentiles, the
+form/queue/execute segment means, goodput, and the interconnect-idle
+time the extra in-flight batches exist to reclaim.
+
+The rendered table answers the scheduler's motivating question directly:
+at a saturating arrival rate, does keeping K=2 batches in flight raise
+goodput and shrink the inter-batch interconnect bubble relative to the
+sequential K=1 server — and by how much per backend?  ``write_json``
+emits ``BENCH_serving.json`` for the CI serve-smoke gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.runspec import RunSpec, preset_runspec
+from ..core.serving import InferenceServer, SchedulerSpec, ServingResult, ServingSpec
+from ..simgpu.units import ms
+from .reporting import format_table
+
+__all__ = [
+    "ServeSweepPoint",
+    "ServeSweepResult",
+    "run_serve_sweep",
+    "validate_servesweep_json",
+]
+
+
+@dataclass(frozen=True)
+class ServeSweepPoint:
+    """One (backend, QPS, max_in_flight, policy) serving measurement."""
+
+    backend: str
+    arrival_qps: float
+    max_in_flight: int
+    policy: str
+    result: ServingResult
+
+    @property
+    def idle_share(self) -> float:
+        """Interconnect-idle time as a share of the serving window."""
+        if self.result.sim_duration_ns <= 0:
+            return 0.0
+        return self.result.interconnect_idle_ns / self.result.sim_duration_ns
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Grid coordinates plus the full result payload."""
+        return {
+            "backend": self.backend,
+            "arrival_qps": float(self.arrival_qps),
+            "max_in_flight": self.max_in_flight,
+            "policy": self.policy,
+            "idle_share": self.idle_share,
+            "result": self.result.as_dict(),
+        }
+
+
+@dataclass
+class ServeSweepResult:
+    """A finished serving sweep."""
+
+    preset: str
+    n_devices: int
+    n_requests: int
+    max_batch: int
+    batch_window_ns: float
+    points: List[ServeSweepPoint] = field(default_factory=list)
+
+    def point(
+        self, backend: str, qps: float, k: int, policy: str = "hybrid"
+    ) -> ServeSweepPoint:
+        """Look up one measured grid point."""
+        for p in self.points:
+            if (
+                p.backend == backend
+                and p.arrival_qps == qps
+                and p.max_in_flight == k
+                and p.policy == policy
+            ):
+                return p
+        raise KeyError(f"no point ({backend}, {qps}, K={k}, {policy})")
+
+    def render(self) -> str:
+        """Text table of the sweep."""
+        rows = []
+        for p in self.points:
+            r = p.result
+            served = r.n_requests > 0
+            rows.append(
+                [
+                    p.backend,
+                    f"{p.arrival_qps:,.0f}",
+                    f"{p.max_in_flight}",
+                    p.policy,
+                    f"{r.n_requests}/{r.n_offered}",
+                    f"{r.mean_batch_size:.1f}",
+                    f"{r.p50_ms:.3f}" if served else "-",
+                    f"{r.p99_ms:.3f}" if served else "-",
+                    f"{r.mean_form_ns / ms:.3f}",
+                    f"{r.mean_queue_ns / ms:.3f}",
+                    f"{r.mean_execute_ns / ms:.3f}",
+                    f"{r.goodput_qps:,.0f}",
+                    f"{p.idle_share:.1%}",
+                ]
+            )
+        title = (
+            f"[serve sweep: {self.preset} preset, {self.n_devices} GPUs, "
+            f"{self.n_requests} requests/point, max batch {self.max_batch}, "
+            f"window {self.batch_window_ns / ms:.2f} ms]"
+        )
+        return title + "\n" + format_table(
+            [
+                "backend",
+                "qps",
+                "K",
+                "policy",
+                "served",
+                "batch",
+                "p50 (ms)",
+                "p99 (ms)",
+                "form",
+                "queue",
+                "exec",
+                "goodput",
+                "net idle",
+            ],
+            rows,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The ``BENCH_serving.json`` payload."""
+        return {
+            "schema_version": 1,
+            "preset": self.preset,
+            "n_devices": self.n_devices,
+            "n_requests": self.n_requests,
+            "max_batch": self.max_batch,
+            "batch_window_ns": float(self.batch_window_ns),
+            "points": [p.as_dict() for p in self.points],
+        }
+
+    def write_json(self, path: str, *, indent: int = 1) -> None:
+        """Write the canonical artifact (sorted keys, schema-valid)."""
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, sort_keys=True, indent=indent)
+
+
+def validate_servesweep_json(data: Any) -> None:
+    """Validate a ``BENCH_serving.json`` payload (raises ``ValueError``)."""
+    if not isinstance(data, dict):
+        raise ValueError("serving artifact must be a dict")
+    for key in (
+        "schema_version", "preset", "n_devices", "n_requests",
+        "max_batch", "batch_window_ns", "points",
+    ):
+        if key not in data:
+            raise ValueError(f"serving artifact missing key {key!r}")
+    if data["schema_version"] != 1:
+        raise ValueError(
+            f"unsupported serving artifact schema_version {data['schema_version']}"
+        )
+    if not isinstance(data["points"], list) or not data["points"]:
+        raise ValueError("serving artifact must carry >= 1 point")
+    for i, point in enumerate(data["points"]):
+        if not isinstance(point, dict):
+            raise ValueError(f"point {i} must be a dict")
+        for key in ("backend", "arrival_qps", "max_in_flight", "policy", "result"):
+            if key not in point:
+                raise ValueError(f"point {i} missing key {key!r}")
+        result = point["result"]
+        if not isinstance(result, dict):
+            raise ValueError(f"point {i} result must be a dict")
+        for key in ("goodput_qps", "interconnect_idle_ns", "formed_by", "n_requests"):
+            if key not in result:
+                raise ValueError(f"point {i} result missing key {key!r}")
+        if point["max_in_flight"] != result["max_in_flight"]:
+            raise ValueError(f"point {i}: max_in_flight disagrees with its result")
+
+
+def run_serve_sweep(
+    preset: str = "tiny",
+    *,
+    n_devices: int = 2,
+    backends: Sequence[str] = ("pgas", "baseline"),
+    qps: Sequence[float] = (200_000.0,),
+    max_in_flight: Sequence[int] = (1, 2),
+    policies: Sequence[str] = ("hybrid",),
+    n_requests: int = 32,
+    max_batch: int = 8,
+    batch_window_ns: float = 0.1 * ms,
+    deadline_ns: Optional[float] = None,
+    queue_limit: Optional[int] = None,
+    seed: int = 0,
+) -> ServeSweepResult:
+    """Serve a request stream at every (backend, QPS, K, policy) point.
+
+    Every point gets a *fresh* pipeline (its own cluster, so profiler
+    records and stream queues never leak between points) built from one
+    :class:`RunSpec`, and identical seeds — the grid coordinates are the
+    only thing changing between rows.
+    """
+    if not backends or not qps or not max_in_flight or not policies:
+        raise ValueError("every sweep axis needs at least one value")
+    base_spec = preset_runspec(preset, n_devices)
+    sweep = ServeSweepResult(
+        preset=preset,
+        n_devices=n_devices,
+        n_requests=n_requests,
+        max_batch=max_batch,
+        batch_window_ns=batch_window_ns,
+    )
+    for backend in backends:
+        for rate in qps:
+            for policy in policies:
+                for k in max_in_flight:
+                    spec = RunSpec(
+                        workload=base_spec.workload,
+                        n_devices=n_devices,
+                        backend=backend,
+                        name=preset,
+                        serving=ServingSpec(
+                            arrival_qps=rate,
+                            max_batch=max_batch,
+                            batch_window_ns=batch_window_ns,
+                            seed=seed,
+                            deadline_ns=deadline_ns,
+                            queue_limit=queue_limit,
+                            scheduler=SchedulerSpec(max_in_flight=k, policy=policy),
+                        ),
+                    )
+                    server = InferenceServer.from_spec(spec)
+                    result = server.simulate(n_requests)
+                    sweep.points.append(
+                        ServeSweepPoint(
+                            backend=backend,
+                            arrival_qps=rate,
+                            max_in_flight=k,
+                            policy=policy,
+                            result=result,
+                        )
+                    )
+    return sweep

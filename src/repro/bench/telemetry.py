@@ -16,12 +16,8 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.baseline import PhaseTiming
 from ..core.retrieval import DistributedEmbedding
-from ..dlrm.data import (
-    STRONG_SCALING_TOTAL,
-    SyntheticDataGenerator,
-    WEAK_SCALING_BASE,
-    WorkloadConfig,
-)
+from ..core.runspec import PRESETS, RunSpec, preset_runspec
+from ..dlrm.data import SyntheticDataGenerator, WorkloadConfig
 from ..simgpu.units import to_ms
 from ..telemetry import RunReport, validate_report
 from .reporting import format_table
@@ -36,9 +32,7 @@ __all__ = [
     "validate_metrics_json",
 ]
 
-#: named workload presets; ``weak``/``strong`` take the per-GPU scaling
-#: rules from the paper, ``tiny`` is the CI smoke configuration
-PRESETS = ("tiny", "weak", "strong")
+# PRESETS is re-exported from repro.core.runspec (its canonical home).
 
 #: rows of the comparison table: (metric name, label, formatter)
 METRIC_ROWS = (
@@ -53,17 +47,13 @@ METRIC_ROWS = (
 
 
 def preset_workload(preset: str, n_devices: int) -> WorkloadConfig:
-    """Resolve a named preset to a workload for ``n_devices`` GPUs."""
-    if preset == "tiny":
-        return WorkloadConfig(
-            num_tables=8, rows_per_table=4096, dim=16, batch_size=256, max_pooling=8
-        )
-    if preset == "weak":
-        # Paper §IV-A rule: 64 tables per GPU, everything else fixed.
-        return WEAK_SCALING_BASE.scaled_tables(64 * n_devices)
-    if preset == "strong":
-        return STRONG_SCALING_TOTAL
-    raise ValueError(f"unknown preset {preset!r}; available: {', '.join(PRESETS)}")
+    """Resolve a named preset to a workload for ``n_devices`` GPUs.
+
+    Thin shim over :func:`repro.core.runspec.preset_runspec` — the preset
+    definitions live there so every entry point (run/metrics/faultsweep/
+    servesweep) resolves the same shapes.
+    """
+    return preset_runspec(preset, n_devices).workload
 
 
 @dataclass
@@ -160,12 +150,13 @@ def run_metrics(
         cfg = dataclasses.replace(cfg, seed=seed)
     if scale != 1.0:
         cfg = scaled_config(cfg, scale)
+    spec = RunSpec(workload=cfg, n_devices=n_devices, name=preset)
 
     comparison = MetricsComparison(
         preset=preset, workload=cfg, n_devices=n_devices, n_batches=n_batches
     )
     for backend in backends:
-        emb = DistributedEmbedding(cfg, n_devices, backend=backend)
+        emb = DistributedEmbedding.from_spec(spec, backend=backend)
         gen = SyntheticDataGenerator(cfg)
         total = PhaseTiming()
         for _ in range(n_batches):

@@ -78,9 +78,11 @@ register_backend(
     "pgas+cache",
     lambda emb: cached_retrieval_for(emb, "pgas"),
     requires_indices=True,
+    description="PGAS retrieval with the hot-row cache short-circuiting remote reads",
 )
 register_backend(
     "baseline+cache",
     lambda emb: cached_retrieval_for(emb, "baseline"),
     requires_indices=True,
+    description="collective retrieval with the hot-row cache shrinking the all-to-all",
 )

@@ -343,11 +343,19 @@ class CachedRetrieval(RetrievalBackend):
         return timing
 
     def batch_process(
-        self, cluster: Cluster, cplan: CacheBatchPlan, timing: PhaseTiming
+        self,
+        cluster: Cluster,
+        cplan: CacheBatchPlan,
+        timing: PhaseTiming,
+        stream_suffix: str = "",
     ):
         """Process generator for one planned batch — composable into larger
-        host programs (the inference pipeline's EMB stage)."""
-        yield from self.base.batch_process(cluster, cplan.workloads, timing)
+        host programs (the inference pipeline's EMB stage).
+        ``stream_suffix`` passes through to the wrapped backend's per-batch
+        stream set."""
+        yield from self.base.batch_process(
+            cluster, cplan.workloads, timing, stream_suffix=stream_suffix
+        )
         self._stamp_counters(cplan)
 
     def _stamp_counters(self, cplan: CacheBatchPlan) -> None:

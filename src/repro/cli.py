@@ -8,9 +8,14 @@ Commands
 ``sweep``       sweep a workload knob and print speedups per point
 ``cachesweep``  hot-row cache hit rate / comm / speedup vs skew and capacity
 ``faultsweep``  serving SLOs (shed/degraded/p99/goodput) vs fault severity
+``servesweep``  continuous-batching goodput vs in-flight depth K + BENCH_serving.json
 ``plan``        capacity-aware table placement for a Criteo-like table set
 ``trace``       run one batch and write a chrome://tracing JSON timeline
 ``metrics``     pgas-vs-baseline telemetry metrics + BENCH_metrics.json
+
+The preset names accepted by ``metrics``/``servesweep`` resolve through
+:func:`repro.core.runspec.preset_runspec`, so the CLI and the library see
+identical workloads.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from .bench.runner import EXPERIMENT_IDS, ExperimentRunner
 from .bench.sweeps import batch_size_sweep, pooling_sweep, table_count_sweep
 from .core.planner import plan_table_wise
 from .core.retrieval import DistributedEmbedding, available_backends, backend_spec
+from .core.runspec import PRESETS
 from .dlrm.data import SyntheticDataGenerator, WEAK_SCALING_BASE, WorkloadConfig
 from .dlrm.heterogeneous import criteo_like
 from .simgpu.device import V100_SPEC
@@ -106,6 +112,29 @@ def build_parser() -> argparse.ArgumentParser:
     fs.add_argument("--hedge-ms", type=float, default=None,
                     help="hedge batches running longer than this (ms)")
 
+    ss = sub.add_parser("servesweep",
+                        help="continuous-batching goodput sweep + BENCH_serving.json")
+    ss.add_argument("--preset", choices=PRESETS, default="tiny",
+                    help="workload preset (resolved via preset_runspec)")
+    ss.add_argument("--gpus", type=int, default=2, help="simulated GPU count")
+    ss.add_argument("--backends", nargs="+", default=["pgas", "baseline"],
+                    help="backends to compare")
+    ss.add_argument("--qps", type=float, nargs="+", default=[200_000.0],
+                    help="offered arrival rates")
+    ss.add_argument("--k", type=int, nargs="+", default=[1, 2],
+                    help="max in-flight batches (scheduler depth) values")
+    ss.add_argument("--policies", nargs="+", choices=("size", "timeout", "hybrid"),
+                    default=["hybrid"], help="batch-formation policies")
+    ss.add_argument("--requests", type=int, default=32, help="requests per point")
+    ss.add_argument("--max-batch", type=int, default=8, help="batcher's size cap")
+    ss.add_argument("--window-ms", type=float, default=0.1,
+                    help="batch-formation window (ms)")
+    ss.add_argument("--deadline-ms", type=float, default=None,
+                    help="request SLO deadline (ms); goodput counts hits only")
+    ss.add_argument("--seed", type=int, default=0)
+    ss.add_argument("--output", default="BENCH_serving.json",
+                    help="machine-readable artifact path ('' to skip)")
+
     pl = sub.add_parser("plan", help="capacity-aware table placement")
     pl.add_argument("--criteo-tables", type=int, default=26)
     pl.add_argument("--dim", type=int, default=64)
@@ -133,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     mt = sub.add_parser("metrics",
                         help="pgas-vs-baseline telemetry metrics + BENCH_metrics.json")
-    mt.add_argument("--preset", choices=("tiny", "weak", "strong"), default="weak",
+    mt.add_argument("--preset", choices=PRESETS, default="weak",
                     help="workload preset (weak = paper §IV-A per-GPU rule)")
     mt.add_argument("--gpus", type=int, default=2, help="simulated GPU count")
     mt.add_argument("--batches", type=int, default=1, help="batches per backend")
@@ -262,6 +291,35 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_servesweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.servesweep import run_serve_sweep, validate_servesweep_json
+    from .simgpu.units import ms
+
+    sweep = run_serve_sweep(
+        args.preset,
+        n_devices=args.gpus,
+        backends=args.backends,
+        qps=args.qps,
+        max_in_flight=args.k,
+        policies=args.policies,
+        n_requests=args.requests,
+        max_batch=args.max_batch,
+        batch_window_ns=args.window_ms * ms,
+        deadline_ns=args.deadline_ms * ms if args.deadline_ms is not None else None,
+        seed=args.seed,
+    )
+    print(sweep.render())
+    if args.output:
+        sweep.write_json(args.output)
+        # Self-check: the artifact we just wrote must round-trip the schema.
+        with open(args.output) as fh:
+            validate_servesweep_json(json.load(fh))
+        print(f"wrote {args.output} (schema-valid, {len(sweep.points)} points)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     cfg = _workload_from(args)
     if args.zipf is not None:
@@ -321,6 +379,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "cachesweep": _cmd_cachesweep,
     "faultsweep": _cmd_faultsweep,
+    "servesweep": _cmd_servesweep,
     "plan": _cmd_plan,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

@@ -34,6 +34,7 @@ from .pgas_retrieval import PGASFusedRetrieval
 from .pipeline import DLRMInferencePipeline, PipelineConfig, PipelineTiming
 from .planner import PlacementError, PlacementReport, min_devices_required, plan_table_wise
 from .retrieval import (
+    BackendInfo,
     BackendName,
     BackendSpec,
     DistributedEmbedding,
@@ -43,7 +44,8 @@ from .retrieval import (
     backend_spec,
     register_backend,
 )
-from .serving import InferenceServer, ServingResult, ServingSpec
+from .runspec import PRESETS, RunSpec, preset_runspec
+from .serving import InferenceServer, SchedulerSpec, ServingResult, ServingSpec
 from .sharding import (
     RowShard,
     RowWiseSharding,
@@ -77,6 +79,7 @@ from .workload import (
 __all__ = [
     "AggregatorSpec",
     "AsyncAggregator",
+    "BackendInfo",
     "BackendName",
     "BackendSpec",
     "BaselineBackward",
@@ -116,8 +119,12 @@ __all__ = [
     "RowShard",
     "RowWiseSharding",
     "InferenceServer",
+    "PRESETS",
+    "RunSpec",
+    "SchedulerSpec",
     "available_backends",
     "backend_spec",
+    "preset_runspec",
     "register_backend",
     "SendBlock",
     "ServingResult",

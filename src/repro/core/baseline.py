@@ -116,12 +116,19 @@ class BaselineRetrieval:
                 raise ValueError(f"workload {i} has device_id {wl.device_id}")
 
     def batch_process(
-        self, cluster: Cluster, workloads: Sequence[DeviceWorkload], timing: PhaseTiming
+        self,
+        cluster: Cluster,
+        workloads: Sequence[DeviceWorkload],
+        timing: PhaseTiming,
+        stream_suffix: str = "",
     ) -> ProcessGenerator:
         """Process generator for one batch — composable into larger host
         programs (e.g. the full-pipeline simulation overlaps this with the
         dense MLP, as in the paper's Fig. 4).  ``timing`` is filled in at
-        completion."""
+        completion.  ``stream_suffix`` selects a per-batch stream set so
+        concurrent batches (continuous-batching serving) don't serialise
+        on one FIFO queue; the default empty suffix is the classic
+        ``"default"`` stream."""
         engine = cluster.engine
         prof = cluster.profiler
         spec0 = cluster.devices[0].spec
@@ -133,7 +140,7 @@ class BaselineRetrieval:
         ops = []
         for dev, wl in zip(cluster.devices, workloads):
             kspec = wl.kernel_spec("baseline_emb")
-            stream = dev.default_stream
+            stream = dev.stream("default" + stream_suffix)
             stream.submit_delay(dev.spec.kernel_launch_overhead_ns, name="launch")
             ops.append(stream.submit(lambda d=dev, k=kspec: execute_kernel(d, k), name=kspec.name))
         yield engine.all_of([op.done for op in ops])
@@ -160,7 +167,7 @@ class BaselineRetrieval:
                 received = unpack_bytes_received(workloads, dev.id)
                 # Read each received byte and write it to its final slot.
                 unpack_ns = 2.0 * received / self.unpack_bandwidth
-                stream = dev.default_stream
+                stream = dev.stream("default" + stream_suffix)
                 unpack_ops.append(
                     stream.submit_delay(
                         dev.spec.kernel_launch_overhead_ns + unpack_ns,

@@ -104,12 +104,17 @@ class PGASFusedRetrieval:
         return self.remote_write_drag * wire / link_bandwidth
 
     def batch_process(
-        self, cluster: Cluster, workloads: Sequence[DeviceWorkload], timing: PhaseTiming
+        self,
+        cluster: Cluster,
+        workloads: Sequence[DeviceWorkload],
+        timing: PhaseTiming,
+        stream_suffix: str = "",
     ) -> ProcessGenerator:
         """Process generator for one batch — composable into larger host
         programs (e.g. the full-pipeline simulation overlaps this with the
         dense MLP, as in the paper's Fig. 4).  ``timing`` is filled in at
-        completion."""
+        completion.  ``stream_suffix`` selects a per-batch stream set so
+        concurrent batches don't serialise on one FIFO queue."""
         engine = cluster.engine
         prof = cluster.profiler
         spec0 = cluster.devices[0].spec
@@ -154,7 +159,7 @@ class PGASFusedRetrieval:
                     else:
                         self.pgas.put(dev_id, dst, payload)
 
-            stream = dev.default_stream
+            stream = dev.stream("default" + stream_suffix)
             stream.submit_delay(dev.spec.kernel_launch_overhead_ns, name="launch")
             ops.append(
                 stream.submit(

@@ -181,6 +181,22 @@ class DLRMInferencePipeline:
         self._cached: Dict[str, object] = {}
         self._resilient: Dict[str, object] = {}
 
+    @classmethod
+    def from_spec(cls, spec, *, cluster: Optional[Cluster] = None, **overrides):
+        """Build a pipeline from a :class:`~repro.core.runspec.RunSpec`.
+
+        ``overrides`` pass straight to the keyword constructor (e.g. a
+        different ``backend`` for A/B runs on the same spec).
+        """
+        kwargs = dict(
+            backend=spec.backend,
+            cluster=cluster,
+            cache=spec.cache,
+            resilience=spec.resilience,
+        )
+        kwargs.update(overrides)
+        return cls(spec.pipeline_config(), spec.n_devices, **kwargs)
+
     # -- cached EMB engines -------------------------------------------------------
 
     def set_cache_config(self, cache: Optional[object]) -> None:
@@ -367,14 +383,24 @@ class DLRMInferencePipeline:
         backend: Optional[BackendName] = None,
         *,
         batch: Optional[SparseBatch] = None,
+        stream_suffix: str = "",
     ) -> ProcessGenerator:
         """Process generator for one batch — composable into larger host
         programs (the serving simulator interleaves these with request
-        arrivals).  ``timing`` is filled at completion."""
+        arrivals).  ``timing`` is filled at completion.
+
+        ``stream_suffix`` gives this batch its own stream set (``"h2d"``,
+        ``"dense"``, ``"default"`` each suffixed) so the continuous-batching
+        scheduler can keep several batches in flight without serialising
+        them on shared FIFO queues; the default empty suffix reproduces
+        single-batch behaviour exactly."""
         be = backend or self.backend
         workloads, cplan = self._plan_emb(lengths_by_feature, be, batch)
         timing.batches = 1
-        return self._process(self.cluster, workloads, timing, be, cached_plan=cplan, batch=batch)
+        return self._process(
+            self.cluster, workloads, timing, be,
+            cached_plan=cplan, batch=batch, stream_suffix=stream_suffix,
+        )
 
     def run_batches_pipelined(
         self, lengths_iter, backend: Optional[BackendName] = None
@@ -446,6 +472,7 @@ class DLRMInferencePipeline:
         copy_ops: Optional[list] = None,
         cached_plan=None,
         batch: Optional[SparseBatch] = None,
+        stream_suffix: str = "",
     ) -> ProcessGenerator:
         engine = cluster.engine
         t0 = engine.now
@@ -459,7 +486,7 @@ class DLRMInferencePipeline:
             K = self.staging_chunks if self.overlap_input_staging else 1
             for dev in cluster.devices:
                 nbytes = self._input_bytes(dev.id, workloads)
-                stream = dev.stream("h2d")
+                stream = dev.stream("h2d" + stream_suffix)
                 chunk_ns = nbytes / self.h2d_bandwidth / K
                 for c in range(K):
                     op = stream.submit_delay(chunk_ns, name=f"h2d.{c}")
@@ -481,7 +508,7 @@ class DLRMInferencePipeline:
             ops = []
             for dev in cluster.devices:
                 k = self._mlp_kernel("bottom_mlp", dev.id, self.config.bottom_sizes)
-                stream = dev.stream("dense")
+                stream = dev.stream("dense" + stream_suffix)
                 stream.submit_delay(dev.spec.kernel_launch_overhead_ns, name="launch")
                 ops.append(stream.submit(lambda d=dev, ks=k: execute_kernel(d, ks), name=k.name))
             yield engine.all_of([op.done for op in ops])
@@ -492,15 +519,18 @@ class DLRMInferencePipeline:
         dense_proc = engine.process(dense_path(), name="dense_path")
         if cached_plan is not None:
             emb_gen = self._cached_retrieval(backend).batch_process(
-                cluster, cached_plan, emb_timing
+                cluster, cached_plan, emb_timing, stream_suffix=stream_suffix
             )
         elif backend.endswith("+resilient"):
             emb_gen = self._resilient_retrieval(backend).batch_process(
-                cluster, workloads, emb_timing, batch=batch
+                cluster, workloads, emb_timing, batch=batch,
+                stream_suffix=stream_suffix,
             )
         else:
             retrieval = self._baseline if backend == "baseline" else self._pgas
-            emb_gen = retrieval.batch_process(cluster, workloads, emb_timing)
+            emb_gen = retrieval.batch_process(
+                cluster, workloads, emb_timing, stream_suffix=stream_suffix
+            )
         emb_proc = engine.process(emb_gen, name="emb_path")
         # Compute may overlap the tail of a pipelined copy, but the batch is
         # not done until every input chunk has landed.
@@ -513,7 +543,7 @@ class DLRMInferencePipeline:
         # ---- stage 3: interaction + top MLP ------------------------------------
         ops = []
         for dev in cluster.devices:
-            stream = dev.default_stream
+            stream = dev.stream("default" + stream_suffix)
             ki = self._interaction_kernel(dev.id)
             kt = self._mlp_kernel("top_mlp", dev.id, self.config.top_sizes)
             stream.submit_delay(dev.spec.kernel_launch_overhead_ns, name="launch")

@@ -22,6 +22,27 @@ producing a :class:`RetrievalBackend` adapter bound to one
 kept alive across batches (which is what lets stateful backends, like the
 hot-row cache, stay warm between calls).
 
+Backend-name contract
+---------------------
+A backend name is ``<base>`` or ``<base>+<feature>`` where ``<base>`` is a
+communication strategy (``"pgas"`` — fused one-sided writes — or
+``"baseline"`` — NCCL-style collectives) and ``<feature>`` is a wrapper
+layered on top of it.  Consumers dispatch on the suffix:
+
+* ``"+cache"`` marks a backend whose EMB pass consults the hot-row cache;
+  it is configured by a :class:`repro.cache.CacheConfig` and *requires
+  index values* (its cost depends on which rows hit).
+* ``"+resilient"`` marks a backend wrapped in the fault-tolerant retry /
+  reroute / degrade layer, configured by a
+  :class:`repro.faults.ResilienceSpec`.
+* A bare base name is the plain timed retrieval.
+
+Code that needs the base strategy (e.g. to pick the functional forward)
+takes ``name.split("+", 1)[0]``; code that needs a capability checks the
+suffix — or, better, the :class:`BackendInfo` flags that
+:func:`available_backends` returns.  Registering a name that is already
+taken raises (pass ``overwrite=True`` to replace deliberately).
+
 Example
 -------
 >>> from repro import DistributedEmbedding, WorkloadConfig, SyntheticDataGenerator
@@ -68,6 +89,7 @@ from .sharding import TableWiseSharding
 from .workload import DeviceWorkload, build_device_workloads, lengths_from_batch
 
 __all__ = [
+    "BackendInfo",
     "BackendName",
     "BackendSpec",
     "DistributedEmbedding",
@@ -130,6 +152,45 @@ class BackendSpec:
     name: str
     factory: Callable[["DistributedEmbedding"], RetrievalBackend]
     requires_indices: bool = False
+    description: str = ""
+    functional: bool = True  #: supports the materialised numpy forward
+
+
+class BackendInfo(str):
+    """A backend name annotated with its description and capability flags.
+
+    A ``str`` subclass, so everything that treats backend names as strings
+    (argparse ``choices``, ``", ".join(...)``, dict keys, equality against
+    a plain name) keeps working; the extra attributes ride along for
+    introspection (``repro backends``, docs, capability checks).
+    """
+
+    __slots__ = ("description", "requires_indices", "functional")
+
+    def __new__(cls, spec: BackendSpec) -> "BackendInfo":
+        info = super().__new__(cls, spec.name)
+        info.description = spec.description
+        info.requires_indices = spec.requires_indices
+        info.functional = spec.functional
+        return info
+
+    @property
+    def base(self) -> str:
+        """The communication strategy under any feature suffixes."""
+        return self.split("+", 1)[0]
+
+    @property
+    def cached(self) -> bool:
+        """True for ``"+cache"`` backends (hot-row cache in the EMB path)."""
+        return "+cache" in self
+
+    @property
+    def resilient(self) -> bool:
+        """True for ``"+resilient"`` backends (fault-tolerant wrapper)."""
+        return "+resilient" in self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BackendInfo {str(self)!r}: {self.description}>"
 
 
 _BACKENDS: Dict[str, BackendSpec] = {}
@@ -140,19 +201,33 @@ def register_backend(
     factory: Callable[["DistributedEmbedding"], RetrievalBackend],
     *,
     requires_indices: bool = False,
+    description: str = "",
+    functional: bool = True,
     overwrite: bool = False,
 ) -> BackendSpec:
     """Register a retrieval backend under ``name``.
 
     ``factory(emb)`` must return a :class:`RetrievalBackend` bound to the
-    given :class:`DistributedEmbedding`.  Registering an existing name
-    raises unless ``overwrite=True``.
+    given :class:`DistributedEmbedding`.  ``name`` must follow the
+    backend-name contract (see the module docstring): a base strategy,
+    optionally extended with ``+<feature>`` suffixes.  Registering an
+    existing name raises unless ``overwrite=True`` — a loud duplicate
+    beats two packages silently fighting over one name.
     """
     if not name:
         raise ValueError("backend name must be non-empty")
     if name in _BACKENDS and not overwrite:
-        raise ValueError(f"backend {name!r} is already registered")
-    spec = BackendSpec(name=name, factory=factory, requires_indices=requires_indices)
+        raise ValueError(
+            f"backend {name!r} is already registered "
+            f"(by {_BACKENDS[name].factory!r}); pass overwrite=True to replace it"
+        )
+    spec = BackendSpec(
+        name=name,
+        factory=factory,
+        requires_indices=requires_indices,
+        description=description,
+        functional=functional,
+    )
     _BACKENDS[name] = spec
     return spec
 
@@ -167,9 +242,14 @@ def backend_spec(name: str) -> BackendSpec:
         ) from None
 
 
-def available_backends() -> List[str]:
-    """Sorted names of every registered backend."""
-    return sorted(_BACKENDS)
+def available_backends() -> List[BackendInfo]:
+    """Every registered backend, sorted by name.
+
+    Each entry is a :class:`BackendInfo` — usable anywhere a plain name
+    string is (the historical return type), but carrying the description
+    and the ``cached`` / ``resilient`` / ``functional`` capability flags.
+    """
+    return [BackendInfo(_BACKENDS[name]) for name in sorted(_BACKENDS)]
 
 
 @dataclass
@@ -232,8 +312,16 @@ class _BaselineBackend(RetrievalBackend):
         return outputs
 
 
-register_backend("pgas", _PGASBackend)
-register_backend("baseline", _BaselineBackend)
+register_backend(
+    "pgas",
+    _PGASBackend,
+    description="fused one-sided PGAS-style writes (compute/comm overlapped)",
+)
+register_backend(
+    "baseline",
+    _BaselineBackend,
+    description="NCCL-style collective: compute, all-to-all, unpack",
+)
 
 
 class DistributedEmbedding:
@@ -295,6 +383,22 @@ class DistributedEmbedding:
             self.sharded = ShardedEmbeddingTables.from_collection(ebc, self.plan)
 
         self._adapters: Dict[str, RetrievalBackend] = {}
+
+    @classmethod
+    def from_spec(cls, spec, **overrides) -> "DistributedEmbedding":
+        """Build from a :class:`~repro.core.runspec.RunSpec`.
+
+        ``overrides`` pass straight to the keyword constructor (e.g.
+        ``backend=...`` for A/B runs or ``materialize=True`` for the
+        functional path on the same spec).
+        """
+        kwargs = dict(
+            backend=spec.backend,
+            cache=spec.cache,
+            resilience=spec.resilience,
+        )
+        kwargs.update(overrides)
+        return cls(spec.workload, spec.n_devices, **kwargs)
 
     # -- properties -------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Inference-serving simulation: request queues, batching, tail latency, SLOs.
+"""Inference-serving simulation: continuous batching, tail latency, SLOs.
 
 The paper motivates its optimisation with inference economics (DLRM is
 "over 70% of inference time" at Meta, citing DeepRecSys), where what
@@ -9,12 +9,24 @@ communication sits directly on the tail.
 :class:`InferenceServer` runs that loop on the simulator:
 
 * requests arrive as a Poisson process at ``arrival_qps``;
-* a batcher collects up to ``max_batch`` requests, waiting at most
-  ``batch_window_ns`` after the first queued request;
-* each batch runs the full timed DLRM pipeline
-  (:class:`~repro.core.pipeline.DLRMInferencePipeline`) with the chosen
-  EMB backend, serially (one model replica);
-* per-request latency = completion − arrival.
+* a batch former seals batches per the :class:`SchedulerSpec` policy —
+  ``"size"`` (wait for ``max_batch``), ``"timeout"`` (wait
+  ``batch_window_ns`` after the head request), or ``"hybrid"``
+  (whichever fires first);
+* a continuous-batching dispatcher keeps up to ``max_in_flight`` batches
+  executing concurrently, each on its own per-batch stream set (see
+  :class:`~repro.simgpu.stream.StreamPool`): while batch k's EMB output
+  writes drain over the interconnect, batch k+1's kernels are already
+  running on the second stream set;
+* per-request latency = completion − arrival, decomposed into **form**
+  (arrival → batch ready), **queue** (ready → dispatched, i.e. waiting
+  for a free in-flight slot), and **execute** (dispatched → done)
+  segments that sum to the end-to-end latency exactly.
+
+Request features are pre-drawn once for the whole run, so each request's
+inputs — and therefore its functional output under ``materialize=True`` —
+are invariant to how the scheduler happens to cut batches: serving with
+``max_in_flight=2`` is bit-identical to sequential serving.
 
 Resilient serving (used by the fault sweep) adds three SLO mechanisms:
 
@@ -29,30 +41,70 @@ Resilient serving (used by the fault sweep) adds three SLO mechanisms:
   zero-filled fraction) is folded into the result.
 
 :meth:`InferenceServer.simulate` returns a :class:`ServingResult` with the
-latency distribution, throughput, shed/hedge/degradation counters, and an
+latency distribution and segments, throughput/goodput, the inter-batch
+interconnect-idle time, shed/hedge/degradation counters, and an
 :meth:`~ServingResult.slo_report` summarising goodput vs. shed vs.
 degraded under fault.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Literal, Optional
 
 import numpy as np
 
 from ..dlrm.data import SyntheticDataGenerator
-from ..simgpu.engine import Event, ProcessGenerator
+from ..simgpu.engine import ProcessGenerator
+from ..simgpu.stream import StreamPool
 from ..simgpu.units import ms
-from ..telemetry.report import QUEUE_DEPTH_COUNTER
+from ..telemetry.metrics import interconnect_idle_ns as _interconnect_idle
+from ..telemetry.report import (
+    BATCH_FORMED_COUNTER,
+    IN_FLIGHT_COUNTER,
+    QUEUE_DEPTH_COUNTER,
+)
+from ..telemetry.timeline import sample_edges
 from .pipeline import DLRMInferencePipeline, PipelineTiming
 from .retrieval import BackendName, backend_spec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, annotations only
     from ..cache import CacheConfig
     from ..faults import ResilienceSpec
+    from .runspec import RunSpec
 
-__all__ = ["ServingSpec", "ServingResult", "InferenceServer"]
+__all__ = ["SchedulerSpec", "ServingSpec", "ServingResult", "InferenceServer"]
+
+#: batch-formation trigger names (also the BATCH_FORMED_COUNTER suffixes)
+FORMATION_REASONS = ("size", "timeout", "exhausted")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Continuous-batching scheduler policy.
+
+    ``max_in_flight`` is K, the number of batches that may execute on the
+    cluster concurrently (each on its own stream set).  ``policy`` picks
+    the batch-formation trigger: ``"size"`` waits for a full
+    ``max_batch``, ``"timeout"`` waits ``batch_window_ns`` after the head
+    request, ``"hybrid"`` fires on whichever comes first (the classic
+    adaptive batcher).  ``queue_limit`` overrides the
+    :class:`ServingSpec` admission limit when set.
+    """
+
+    max_in_flight: int = 1
+    policy: Literal["size", "timeout", "hybrid"] = "hybrid"
+    queue_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.policy not in ("size", "timeout", "hybrid"):
+            raise ValueError(
+                f"unknown policy {self.policy!r} (use size, timeout, or hybrid)"
+            )
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1 (or None)")
 
 
 @dataclass(frozen=True)
@@ -65,6 +117,8 @@ class ServingSpec:
     ones.  Each is ignored by the other backends.  ``deadline_ns`` is the
     per-request SLO used for the deadline-hit rate; ``queue_limit`` and
     ``hedge_after_ns`` enable load shedding and hedged re-execution.
+    ``scheduler`` configures continuous batching (``None`` = the default
+    sequential scheduler: hybrid formation, one batch in flight).
     """
 
     arrival_qps: float  #: mean request arrival rate (Poisson)
@@ -76,6 +130,7 @@ class ServingSpec:
     queue_limit: Optional[int] = None  #: shed arrivals beyond this queue depth
     hedge_after_ns: Optional[float] = None  #: re-execute batches slower than this
     resilience: Optional["ResilienceSpec"] = None
+    scheduler: Optional[SchedulerSpec] = None  #: continuous-batching policy
 
     def __post_init__(self) -> None:
         if self.arrival_qps <= 0:
@@ -90,6 +145,11 @@ class ServingSpec:
             raise ValueError("queue_limit must be >= 1 (or None)")
         if self.hedge_after_ns is not None and self.hedge_after_ns <= 0:
             raise ValueError("hedge_after_ns must be positive (or None)")
+        if self.scheduler is not None and not isinstance(self.scheduler, SchedulerSpec):
+            raise TypeError(
+                f"ServingSpec.scheduler must be a SchedulerSpec, "
+                f"got {type(self.scheduler).__name__}"
+            )
         if self.cache is not None:
             from ..cache import CacheConfig  # lazy: avoid import cycle
 
@@ -112,6 +172,11 @@ class ServingSpec:
         """Expected gap between requests."""
         return 1e9 / self.arrival_qps
 
+    @property
+    def scheduler_spec(self) -> SchedulerSpec:
+        """The effective scheduler (default: sequential hybrid)."""
+        return self.scheduler if self.scheduler is not None else SchedulerSpec()
+
 
 @dataclass
 class ServingResult:
@@ -129,11 +194,24 @@ class ServingResult:
     emb_reroutes: int = 0  #: two-hop reroutes across all batches
     emb_rerouted_bytes: float = 0.0
     emb_deadline_misses: int = 0  #: batches that exhausted EMB retries
+    form_ns: Optional[np.ndarray] = None  #: arrival → batch ready, per request
+    queue_ns: Optional[np.ndarray] = None  #: ready → dispatched, per request
+    execute_ns: Optional[np.ndarray] = None  #: dispatched → done, per request
+    interconnect_idle_ns: float = 0.0  #: serving-window time with zero traffic
+    max_in_flight: int = 1  #: the scheduler's K the run used
+    policy: str = "hybrid"  #: the batch-formation policy the run used
+    formed_by: Dict[str, int] = field(default_factory=dict)  #: trigger → batches
+    request_outputs: Optional[np.ndarray] = None  #: (served, F, d) when materialized
 
     @property
     def n_requests(self) -> int:
         """Requests served."""
         return int(self.latencies_ns.size)
+
+    @property
+    def n_batches(self) -> int:
+        """Batches dispatched."""
+        return len(self.batch_sizes)
 
     @property
     def n_offered(self) -> int:
@@ -165,11 +243,20 @@ class ServingResult:
         return float(np.mean(self.latencies_ns <= self.deadline_ns))
 
     def percentile_ms(self, q: float) -> float:
-        """Latency percentile in milliseconds."""
+        """Latency percentile in milliseconds.
+
+        ``q`` must lie in [0, 100].  A single-sample distribution returns
+        that sample for every ``q`` (no interpolation artefacts); an empty
+        one (all requests shed) raises instead of returning NaN.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
         if self.n_requests == 0:
             raise ValueError(
                 "no requests were served (all shed?); latency percentiles undefined"
             )
+        if self.n_requests == 1:
+            return float(self.latencies_ns[0]) / ms
         return float(np.percentile(self.latencies_ns, q)) / ms
 
     @property
@@ -184,8 +271,32 @@ class ServingResult:
 
     @property
     def mean_batch_size(self) -> float:
-        """Average formed batch size."""
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        """Average formed batch size (0.0 on an all-shed run).
+
+        Robust to ``batch_sizes`` arriving as any sequence type (a bare
+        ``if self.batch_sizes`` is ambiguous for numpy arrays and one
+        guard away from ``np.mean([])``'s NaN).
+        """
+        sizes = np.asarray(self.batch_sizes, dtype=np.float64)
+        return float(sizes.mean()) if sizes.size else 0.0
+
+    def _segment_mean(self, values: Optional[np.ndarray]) -> float:
+        return float(np.mean(values)) if values is not None and values.size else 0.0
+
+    @property
+    def mean_form_ns(self) -> float:
+        """Mean batch-formation wait across served requests."""
+        return self._segment_mean(self.form_ns)
+
+    @property
+    def mean_queue_ns(self) -> float:
+        """Mean wait for a free in-flight slot across served requests."""
+        return self._segment_mean(self.queue_ns)
+
+    @property
+    def mean_execute_ns(self) -> float:
+        """Mean pipeline execution time across served requests."""
+        return self._segment_mean(self.execute_ns)
 
     @property
     def throughput_qps(self) -> float:
@@ -221,7 +332,7 @@ class ServingResult:
         return (
             f"{self.backend}: {self.n_requests} reqs, p50 {self.p50_ms:.2f} ms, "
             f"p99 {self.p99_ms:.2f} ms, mean batch {self.mean_batch_size:.0f}, "
-            f"{self.throughput_qps:,.0f} qps"
+            f"{self.throughput_qps:,.0f} qps (K={self.max_in_flight})"
         )
 
     def slo_report(self) -> str:
@@ -245,6 +356,12 @@ class ServingResult:
                 f"throughput {self.throughput_qps:,.0f} qps, "
                 f"goodput {self.goodput_qps:,.0f} qps"
             )
+            lines.append(
+                f"segments form {self.mean_form_ns / ms:.3f} / queue "
+                f"{self.mean_queue_ns / ms:.3f} / execute "
+                f"{self.mean_execute_ns / ms:.3f} ms "
+                f"(K={self.max_in_flight}, policy {self.policy})"
+            )
         else:
             lines.append("no requests served")
         lines.append(
@@ -264,6 +381,7 @@ class ServingResult:
             "n_offered": self.n_offered,
             "n_shed": self.n_shed,
             "n_hedged": self.n_hedged,
+            "n_batches": self.n_batches,
             "shed_fraction": self.shed_fraction,
             "sim_duration_ns": float(self.sim_duration_ns),
             "mean_batch_size": self.mean_batch_size,
@@ -278,6 +396,13 @@ class ServingResult:
             "emb_reroutes": self.emb_reroutes,
             "emb_rerouted_bytes": float(self.emb_rerouted_bytes),
             "emb_deadline_misses": self.emb_deadline_misses,
+            "max_in_flight": self.max_in_flight,
+            "policy": self.policy,
+            "formed_by": dict(self.formed_by),
+            "mean_form_ns": self.mean_form_ns,
+            "mean_queue_ns": self.mean_queue_ns,
+            "mean_execute_ns": self.mean_execute_ns,
+            "interconnect_idle_ns": float(self.interconnect_idle_ns),
         }
 
 
@@ -291,11 +416,58 @@ class InferenceServer:
             pipeline.set_cache_config(spec.cache)
         if spec.resilience is not None:
             pipeline.set_resilience(spec.resilience)
+        self._sharded = None  # lazily materialised weights (functional path)
+
+    @classmethod
+    def from_spec(cls, spec: "RunSpec", *, pipeline: Optional[DLRMInferencePipeline] = None):
+        """Build a server from a :class:`~repro.core.runspec.RunSpec`.
+
+        The spec must carry a ``serving`` section; its ``scheduler``
+        section (when present) overrides the serving spec's.
+        """
+        if pipeline is None:
+            pipeline = DLRMInferencePipeline.from_spec(spec)
+        return cls(pipeline, spec.serving_spec())
+
+    # -- functional path ---------------------------------------------------------
+
+    def _materialized_tables(self):
+        """Real embedding weights, built once, seeded by the workload seed.
+
+        Two servers over the same workload materialise identical weights,
+        so cross-server output comparisons (sequential vs. continuous
+        batching) are meaningful bit-for-bit.
+        """
+        if self._sharded is None:
+            from ..dlrm.embedding import EmbeddingBagCollection
+            from .functional import ShardedEmbeddingTables
+
+            cfg = self.pipeline.config.workload
+            ebc = EmbeddingBagCollection.from_configs(
+                cfg.table_configs(), rng=np.random.default_rng(cfg.seed)
+            )
+            self._sharded = ShardedEmbeddingTables.from_collection(
+                ebc, self.pipeline.plan
+            )
+        return self._sharded
+
+    # -- simulation --------------------------------------------------------------
 
     def simulate(
-        self, n_requests: int, backend: Optional[BackendName] = None
+        self,
+        n_requests: int,
+        backend: Optional[BackendName] = None,
+        *,
+        materialize: bool = False,
     ) -> ServingResult:
-        """Serve ``n_requests`` to completion; returns the latency stats."""
+        """Serve ``n_requests`` to completion; returns the latency stats.
+
+        With ``materialize=True`` the server also runs the functional EMB
+        forward per batch and returns per-request output vectors in
+        ``result.request_outputs`` — bit-identical regardless of the
+        scheduler's ``max_in_flight`` because request features are
+        pre-drawn once and pooling is per-sample.
+        """
         if n_requests <= 0:
             raise ValueError("n_requests must be positive")
         pipeline = self.pipeline
@@ -303,6 +475,10 @@ class InferenceServer:
         engine = cluster.engine
         profiler = cluster.profiler
         spec = self.spec
+        sched = spec.scheduler_spec
+        queue_limit = (
+            sched.queue_limit if sched.queue_limit is not None else spec.queue_limit
+        )
         rng = np.random.default_rng(spec.seed)
         workload = pipeline.config.workload
         gen = SyntheticDataGenerator(workload)
@@ -310,14 +486,54 @@ class InferenceServer:
         needs_indices = backend_spec(be).requires_indices
         resilient = be.endswith("+resilient")
 
-        queue: List[float] = []  # arrival times of waiting requests
+        # Pre-draw every request's features once: request r's inputs (and
+        # functional outputs) are fixed regardless of how the scheduler
+        # cuts batches, which is what makes continuous batching
+        # bit-identical to sequential serving.
+        needs_sparse = (
+            needs_indices
+            or materialize
+            or (resilient and pipeline.resilience_config is not None)
+        )
+        if needs_sparse:
+            pool = gen.sparse_batch(batch_size=n_requests)
+            pool_lengths = None
+        else:
+            pool = None
+            pool_lengths = gen.lengths_batch(batch_size=n_requests)
+
+        functional = None
+        if materialize:
+            from .functional import baseline_functional_forward, pgas_functional_forward
+
+            sharded = self._materialized_tables()
+            base = be.split("+", 1)[0]
+            if base == "baseline":
+                def functional(b):
+                    outputs, _blocks = baseline_functional_forward(sharded, b)
+                    return outputs
+            else:
+                def functional(b):
+                    return pgas_functional_forward(sharded, b)
+
+        # Per-request timestamps (NaN = not applicable / not served).
+        arrival_t = np.full(n_requests, np.nan)
+        ready_t = np.full(n_requests, np.nan)
+        dispatch_t = np.full(n_requests, np.nan)
+        done_t = np.full(n_requests, np.nan)
+        degraded_t = np.zeros(n_requests)
+        outputs_t: List[Optional[np.ndarray]] = [None] * n_requests
+
+        queue: List[int] = []  # admitted request ids awaiting dispatch
         arrived = 0
         n_shed = 0
         n_hedged = 0
-        new_arrival: List[Event] = [engine.event("arrival")]
-        latencies: List[float] = []
-        degraded: List[float] = []
+        n_done = 0
+        in_flight = 0
         batch_sizes: List[int] = []
+        formed_by: Dict[str, int] = {reason: 0 for reason in FORMATION_REASONS}
+        slots = StreamPool(sched.max_in_flight)
+        wake = engine.notifier("scheduler")
         t_start = engine.now
         if resilient:
             # Force-build the engine now so the outcome ledger exists.
@@ -325,95 +541,177 @@ class InferenceServer:
 
         def arrivals() -> ProcessGenerator:
             nonlocal arrived, n_shed
-            for _ in range(n_requests):
+            for rid in range(n_requests):
                 gap = rng.exponential(spec.mean_interarrival_ns)
                 yield engine.timeout(gap)
                 arrived += 1
-                if spec.queue_limit is not None and len(queue) >= spec.queue_limit:
+                if queue_limit is not None and len(queue) >= queue_limit:
                     # Admission control: reject instead of growing the tail.
                     n_shed += 1
                 else:
-                    queue.append(engine.now)
+                    arrival_t[rid] = engine.now
+                    queue.append(rid)
                     profiler.add_count(
                         QUEUE_DEPTH_COUNTER, engine.now, 1.0, unit="requests"
                     )
-                # A shed arrival still pings the server so its loop
+                # A shed arrival still kicks the scheduler so its loop
                 # condition (served + shed == offered) is re-checked.
-                ev = new_arrival[0]
-                if not ev.triggered:
-                    ev.succeed()
+                wake.notify()
 
-        def launch_batch(k: int):
-            """One timed pipeline run over a freshly drawn batch of size k."""
-            timing = PipelineTiming()
-            if needs_indices or (resilient and pipeline.resilience_config is not None):
-                # Index-dependent backends cost on the values; the resilient
-                # fallback cache also wants them when available.
-                sparse = gen.sparse_batch(batch_size=k)
-                proc = pipeline.batch_process(None, timing, be, batch=sparse)
+        def run_batch(rows: List[int], lease) -> ProcessGenerator:
+            """Execute one dispatched batch on its leased stream set."""
+            nonlocal n_hedged, n_done, in_flight
+            rows_np = np.asarray(rows, dtype=np.int64)
+            if pool is not None:
+                sub_batch = pool.take(rows_np)
+                sub_lengths = None
             else:
-                lengths = gen.lengths_batch(batch_size=k)
-                proc = pipeline.batch_process(lengths, timing, be)
-            return engine.process(proc, name="serve_batch")
+                sub_batch = None
+                sub_lengths = {
+                    name: arr[rows_np] for name, arr in pool_lengths.items()
+                }
 
-        def server() -> ProcessGenerator:
-            nonlocal n_hedged
-            while len(latencies) + n_shed < n_requests:
-                if not queue:
-                    ev = engine.event("arrival")
-                    new_arrival[0] = ev
-                    yield ev
-                    continue
-                # Batcher: wait for the window (or until the cap is full).
-                deadline = queue[0] + spec.batch_window_ns
-                while (
-                    len(queue) < spec.max_batch
-                    and arrived < n_requests
-                    and engine.now < deadline
-                ):
-                    ev = engine.event("arrival")
-                    new_arrival[0] = ev
-                    remaining = deadline - engine.now
-                    yield engine.any_of([ev, engine.timeout(remaining)])
-                k = min(len(queue), spec.max_batch)
-                batch_arrivals = queue[:k]
-                del queue[:k]
-                profiler.add_count(
-                    QUEUE_DEPTH_COUNTER, engine.now, -float(k), unit="requests"
-                )
-                batch_sizes.append(k)
-                proc = launch_batch(k)
-                if spec.hedge_after_ns is None:
-                    yield proc
+            def launch():
+                timing = PipelineTiming()
+                if sub_batch is not None:
+                    proc_gen = pipeline.batch_process(
+                        None, timing, be, batch=sub_batch,
+                        stream_suffix=lease.suffix,
+                    )
                 else:
-                    yield engine.any_of([proc, engine.timeout(spec.hedge_after_ns)])
-                    if not proc.triggered:
-                        # Straggler suspect: race an identical hedge batch.
-                        # The loser keeps draining in the background,
-                        # occupying its streams and links.
-                        n_hedged += 1
-                        hedge = launch_batch(k)
-                        yield engine.any_of([proc, hedge])
-                done = engine.now
-                latencies.extend(done - a for a in batch_arrivals)
-                if resilient:
-                    outcome = pipeline.pop_resilient_outcome(be)
-                    frac = outcome.degraded_fraction if outcome is not None else 0.0
-                    degraded.extend([frac] * k)
+                    proc_gen = pipeline.batch_process(
+                        sub_lengths, timing, be, stream_suffix=lease.suffix
+                    )
+                return engine.process(proc_gen, name="serve_batch")
 
-        arr_proc = engine.process(arrivals(), name="arrivals")
-        srv_proc = engine.process(server(), name="server")
-        engine.run_until_event(srv_proc)
+            proc = launch()
+            if spec.hedge_after_ns is None:
+                yield proc
+            else:
+                yield engine.any_of([proc, engine.timeout(spec.hedge_after_ns)])
+                if not proc.triggered:
+                    # Straggler suspect: race an identical hedge batch.
+                    # The loser keeps draining in the background,
+                    # occupying its streams and links.
+                    n_hedged += 1
+                    hedge = launch()
+                    yield engine.any_of([proc, hedge])
+            done = engine.now
+            done_t[rows_np] = done
+            if resilient:
+                outcome = pipeline.pop_resilient_outcome(be)
+                frac = outcome.degraded_fraction if outcome is not None else 0.0
+                degraded_t[rows_np] = frac
+            if functional is not None:
+                # Per-device (B_g, F, d) outputs concatenate back to the
+                # batch's sample order, i.e. the dispatched row order.
+                flat = np.concatenate(functional(sub_batch), axis=0)
+                for i, rid in enumerate(rows):
+                    outputs_t[rid] = flat[i]
+            n_done += len(rows)
+            in_flight -= 1
+            profiler.add_count(IN_FLIGHT_COUNTER, done, -1.0, unit="batches")
+            lease.release()
+            wake.notify()
+
+        def scheduler() -> ProcessGenerator:
+            nonlocal in_flight
+            n_launched = 0
+            while n_done + n_shed < n_requests:
+                if not queue:
+                    yield wake.wait()
+                    continue
+                # Batch former: wait until the policy declares the head
+                # batch ready.
+                reason = None
+                while reason is None:
+                    if sched.policy != "timeout" and len(queue) >= spec.max_batch:
+                        reason = "size"
+                    elif arrived >= n_requests:
+                        reason = "exhausted"
+                    elif (
+                        sched.policy != "size"
+                        and engine.now
+                        >= arrival_t[queue[0]] + spec.batch_window_ns
+                    ):
+                        reason = "timeout"
+                    else:
+                        ev = wake.wait()
+                        if sched.policy != "size":
+                            remaining = (
+                                arrival_t[queue[0]]
+                                + spec.batch_window_ns
+                                - engine.now
+                            )
+                            yield engine.any_of([ev, engine.timeout(remaining)])
+                        else:
+                            yield ev
+                t_ready = engine.now
+                # Dispatcher: wait for a free in-flight slot, then seal.
+                while in_flight >= sched.max_in_flight:
+                    yield wake.wait()
+                # Seal at dispatch: absorb everything waiting now (late
+                # arrivals ride along, with a zero form segment).
+                k = min(len(queue), spec.max_batch)
+                rows = queue[:k]
+                del queue[:k]
+                rows_np = np.asarray(rows, dtype=np.int64)
+                now = engine.now
+                ready_t[rows_np] = np.maximum(t_ready, arrival_t[rows_np])
+                dispatch_t[rows_np] = now
+                profiler.add_count(
+                    QUEUE_DEPTH_COUNTER, now, -float(k), unit="requests"
+                )
+                profiler.add_count(IN_FLIGHT_COUNTER, now, 1.0, unit="batches")
+                profiler.add_count(
+                    f"{BATCH_FORMED_COUNTER}.{reason}", now, 1.0, unit="batches"
+                )
+                formed_by[reason] += 1
+                batch_sizes.append(k)
+                in_flight += 1
+                lease = slots.acquire()
+                engine.process(run_batch(rows, lease), name=f"batch{n_launched}")
+                n_launched += 1
+
+        engine.process(arrivals(), name="arrivals")
+        sched_proc = engine.process(scheduler(), name="scheduler")
+        engine.run_until_event(sched_proc)
+        t_end = engine.now
+
+        # Compact per-request records in request-id order (stable across
+        # out-of-order completion under K > 1).
+        served = np.nonzero(~np.isnan(done_t))[0]
+        latencies = (done_t - arrival_t)[served]
+        form = (ready_t - arrival_t)[served]
+        queue_seg = (dispatch_t - ready_t)[served]
+        execute = (done_t - dispatch_t)[served]
+
+        idle = 0.0
+        if t_end > t_start:
+            edges = sample_edges(t_start, t_end, 240)
+            idle = _interconnect_idle(profiler, edges)
+
+        request_outputs = None
+        if materialize and served.size:
+            request_outputs = np.stack([outputs_t[rid] for rid in served])
 
         result = ServingResult(
-            latencies_ns=np.array(latencies),
+            latencies_ns=latencies,
             batch_sizes=batch_sizes,
-            sim_duration_ns=engine.now - t_start,
+            sim_duration_ns=t_end - t_start,
             backend=be,
             n_shed=n_shed,
             n_hedged=n_hedged,
             deadline_ns=spec.deadline_ns,
-            degraded_per_request=np.array(degraded) if resilient else None,
+            degraded_per_request=degraded_t[served] if resilient else None,
+            form_ns=form,
+            queue_ns=queue_seg,
+            execute_ns=execute,
+            interconnect_idle_ns=idle,
+            max_in_flight=sched.max_in_flight,
+            policy=sched.policy,
+            formed_by=formed_by,
+            request_outputs=request_outputs,
         )
         if resilient:
             # Ledger totals include hedge losers that finished late.

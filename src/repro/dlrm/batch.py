@@ -102,6 +102,26 @@ class JaggedField:
             indices=self.indices[base : self.offsets[hi]],
         )
 
+    def take(self, rows: Sequence[int]) -> "JaggedField":
+        """Gather arbitrary samples (with reorder) into a new batch.
+
+        The continuous-batching scheduler pre-draws one pooled batch of
+        request features and assembles each dispatched batch from the
+        admitted request ids — which need not be contiguous once load
+        shedding drops some — so a row-gather is needed on top of
+        :meth:`slice_samples`'s contiguous cut.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.batch_size):
+            raise ValueError(f"row ids out of range for batch {self.batch_size}")
+        lengths = self.lengths[rows]
+        if rows.size:
+            parts = [self.indices[self.offsets[r] : self.offsets[r + 1]] for r in rows]
+            indices = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+        return JaggedField.from_lengths(lengths, indices)
+
     def concat(self, other: "JaggedField") -> "JaggedField":
         """Append another batch of the same feature (inverse of slicing)."""
         return JaggedField(
@@ -180,6 +200,10 @@ class SparseBatch:
     def slice_samples(self, lo: int, hi: int) -> "SparseBatch":
         """Data-parallel cut: samples ``[lo, hi)`` of every feature."""
         return SparseBatch({n: f.slice_samples(lo, hi) for n, f in self._fields.items()})
+
+    def take(self, rows: Sequence[int]) -> "SparseBatch":
+        """Gather arbitrary samples of every feature (see JaggedField.take)."""
+        return SparseBatch({n: f.take(rows) for n, f in self._fields.items()})
 
     def minibatch_bounds(self, n_parts: int) -> List[Tuple[int, int]]:
         """Even split of the batch dimension into ``n_parts`` ranges.

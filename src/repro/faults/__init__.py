@@ -78,9 +78,11 @@ register_backend(
     "pgas+resilient",
     lambda emb: resilient_retrieval_for(emb, "pgas"),
     requires_indices=False,
+    description="PGAS retrieval under the retry/reroute/degrade fault wrapper",
 )
 register_backend(
     "baseline+resilient",
     lambda emb: resilient_retrieval_for(emb, "baseline"),
     requires_indices=False,
+    description="collective retrieval under the retry/reroute/degrade fault wrapper",
 )

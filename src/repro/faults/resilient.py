@@ -395,11 +395,14 @@ class ResilientRetrieval(RetrievalBackend):
         forwards: Sequence[Tuple[int, int, int, float]],
         timing: PhaseTiming,
         outcome: BatchOutcome,
+        stream_suffix: str = "",
     ):
         engine = cluster.engine
         procs = [
             engine.process(
-                self.base.batch_process(cluster, list(workloads), timing),
+                self.base.batch_process(
+                    cluster, list(workloads), timing, stream_suffix=stream_suffix
+                ),
                 name=f"resilient_{self.base_name}",
             )
         ]
@@ -418,12 +421,14 @@ class ResilientRetrieval(RetrievalBackend):
         workloads: Sequence[DeviceWorkload],
         timing: PhaseTiming,
         batch: Optional[SparseBatch] = None,
+        stream_suffix: str = "",
     ):
         """Process generator for one batch — the full state machine.
 
         Composable into larger host programs exactly like the base
         backends' ``batch_process``; ``timing`` is filled at completion
-        (``total_ns`` includes backoff and retries).
+        (``total_ns`` includes backoff and retries).  ``stream_suffix``
+        passes through to the wrapped backend's per-batch stream set.
         """
         engine = cluster.engine
         spec = self.spec
@@ -434,7 +439,10 @@ class ResilientRetrieval(RetrievalBackend):
         while True:
             sub = PhaseTiming(batches=1)
             proc = engine.process(
-                self._attempt(cluster, state.workloads, state.forwards, sub, outcome),
+                self._attempt(
+                    cluster, state.workloads, state.forwards, sub, outcome,
+                    stream_suffix=stream_suffix,
+                ),
                 name="resilient_attempt",
             )
             if spec.deadline_ns is None:
@@ -459,7 +467,8 @@ class ResilientRetrieval(RetrievalBackend):
                 sub = PhaseTiming(batches=1)
                 yield engine.process(
                     self._attempt(
-                        cluster, self._strip_remote(state.workloads), [], sub, outcome
+                        cluster, self._strip_remote(state.workloads), [], sub, outcome,
+                        stream_suffix=stream_suffix,
                     ),
                     name="resilient_degraded",
                 )

@@ -8,7 +8,17 @@ span breakdowns and comm-volume counters the paper's figures need.
 
 from .cluster import Cluster, dgx_v100, multinode, pcie_node
 from .device import A100_SPEC, Device, DeviceSpec, H100_SPEC, V100_SPEC
-from .engine import AllOf, AnyOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Notifier,
+    Process,
+    SimulationError,
+    Timeout,
+)
 from .interconnect import (
     Interconnect,
     Link,
@@ -25,7 +35,7 @@ from .interconnect import (
 from .kernel import KernelSpec, WaveInfo, execute_kernel, kernel_time, roofline_time
 from .memory import Buffer, MemoryPool, OutOfDeviceMemory
 from .profiler import Counter, Profiler, Span
-from .stream import CudaEvent, Stream, StreamOp
+from .stream import CudaEvent, Stream, StreamLease, StreamOp, StreamPool
 from .trace import chrome_trace, summarize_spans, write_chrome_trace
 from . import units
 
@@ -49,6 +59,7 @@ __all__ = [
     "LinkSpec",
     "MemoryPool",
     "NIC_SPEC",
+    "Notifier",
     "NVLINK_PAIR_SPEC",
     "OutOfDeviceMemory",
     "PCIE_SPEC",
@@ -57,7 +68,9 @@ __all__ = [
     "SimulationError",
     "Span",
     "Stream",
+    "StreamLease",
     "StreamOp",
+    "StreamPool",
     "Timeout",
     "Topology",
     "V100_SPEC",

@@ -36,6 +36,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Interrupt",
+    "Notifier",
     "SimulationError",
 ]
 
@@ -199,6 +200,37 @@ class AnyOf(Event):
 ProcessGenerator = Generator[Event, Any, Any]
 
 
+class Notifier:
+    """A re-armable broadcast wake-up shared by cooperating processes.
+
+    Plain :class:`Event` objects are one-shot, so loops that repeatedly
+    wait for "something changed" (a request arrived, a batch completed)
+    have to hand-roll the replace-the-event dance.  A ``Notifier`` owns
+    that: :meth:`wait` returns the current pending event (creating a fresh
+    one after each firing), and :meth:`notify` triggers it — a no-op when
+    nobody re-armed since the last firing, so producers can signal
+    unconditionally.
+    """
+
+    __slots__ = ("engine", "name", "_event")
+
+    def __init__(self, engine: "Engine", name: str = "notify"):
+        self.engine = engine
+        self.name = name
+        self._event: Optional[Event] = None
+
+    def wait(self) -> Event:
+        """The pending wake-up event; yields until the next :meth:`notify`."""
+        if self._event is None or self._event.triggered:
+            self._event = self.engine.event(self.name)
+        return self._event
+
+    def notify(self) -> None:
+        """Wake every process currently waiting (no-op when none are)."""
+        if self._event is not None and not self._event.triggered:
+            self._event.succeed()
+
+
 class Process(Event):
     """A running generator-based process.
 
@@ -323,6 +355,10 @@ class Engine:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that succeeds once any of ``events`` succeeds."""
         return AnyOf(self, events)
+
+    def notifier(self, name: str = "notify") -> Notifier:
+        """Create a re-armable :class:`Notifier` bound to this engine."""
+        return Notifier(self, name)
 
     def call_at(self, time: float, fn: Callable[[], None]) -> _QueueEntry:
         """Schedule ``fn()`` at absolute simulated ``time``."""

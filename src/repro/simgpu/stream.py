@@ -21,7 +21,7 @@ from .engine import Engine, Event, ProcessGenerator
 if TYPE_CHECKING:  # pragma: no cover
     from .device import Device
 
-__all__ = ["Stream", "StreamOp", "CudaEvent"]
+__all__ = ["Stream", "StreamOp", "StreamLease", "StreamPool", "CudaEvent"]
 
 
 class StreamOp:
@@ -141,6 +141,89 @@ class Stream:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Stream dev={self.device.id} {self.name!r}>"
+
+
+class StreamLease:
+    """Exclusive hold on one :class:`StreamPool` slot.
+
+    The ``suffix`` is appended to the base stream names a batch uses
+    (``"h2d"``, ``"dense"``, ``"default"``), giving each concurrent batch
+    its own disjoint FIFO queues on every device.  Slot 0's suffix is the
+    empty string, so single-slot execution uses exactly the pre-pool
+    stream names (traces and tests see no difference).
+    """
+
+    __slots__ = ("pool", "slot", "_released")
+
+    def __init__(self, pool: "StreamPool", slot: int):
+        self.pool = pool
+        self.slot = slot
+        self._released = False
+
+    @property
+    def suffix(self) -> str:
+        """Stream-name suffix for this slot (``""`` for slot 0)."""
+        return "" if self.slot == 0 else f"#{self.slot}"
+
+    def release(self) -> None:
+        """Return the slot to the pool (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.pool._release(self.slot)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "released" if self._released else "held"
+        return f"<StreamLease slot={self.slot} {state}>"
+
+
+class StreamPool:
+    """A fixed set of per-batch stream-name slots for concurrent contexts.
+
+    The continuous-batching scheduler keeps up to K batches in flight;
+    each needs its own set of streams on every device or their kernels
+    would serialise on the shared FIFO queues.  A ``StreamPool`` hands out
+    ``n_slots`` leases; the holder derives concrete streams via
+    ``device.stream(base_name + lease.suffix)``.  Acquisition is
+    non-blocking — callers that find the pool empty wait on their own
+    scheduling signal (e.g. an :class:`~repro.simgpu.engine.Notifier`
+    kicked at batch completion) and retry.
+    """
+
+    def __init__(self, n_slots: int):
+        if n_slots < 1:
+            raise ValueError("a StreamPool needs at least one slot")
+        self.n_slots = n_slots
+        self._free: List[int] = list(range(n_slots))
+
+    @property
+    def n_free(self) -> int:
+        """Currently available slots."""
+        return len(self._free)
+
+    @property
+    def n_in_use(self) -> int:
+        """Currently leased slots."""
+        return self.n_slots - len(self._free)
+
+    def try_acquire(self) -> Optional[StreamLease]:
+        """Lease the lowest free slot, or ``None`` when all are in use."""
+        if not self._free:
+            return None
+        return StreamLease(self, self._free.pop(0))
+
+    def acquire(self) -> StreamLease:
+        """Lease the lowest free slot; raises when the pool is exhausted."""
+        lease = self.try_acquire()
+        if lease is None:
+            raise RuntimeError(f"all {self.n_slots} stream slots are in use")
+        return lease
+
+    def _release(self, slot: int) -> None:
+        self._free.append(slot)
+        self._free.sort()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StreamPool {self.n_in_use}/{self.n_slots} in use>"
 
 
 class CudaEvent:

@@ -28,11 +28,14 @@ from .metrics import (
     compute_metrics,
     exposed_comm_ns,
     gini,
+    interconnect_idle_ns,
     link_stats,
     overlap_fraction,
     peak_to_mean,
 )
 from .report import (
+    BATCH_FORMED_COUNTER,
+    IN_FLIGHT_COUNTER,
     QUEUE_DEPTH_COUNTER,
     SCHEMA_VERSION,
     ReportValidationError,
@@ -55,8 +58,10 @@ from .timeline import (
 )
 
 __all__ = [
+    "BATCH_FORMED_COUNTER",
     "COMM_COUNTER_NAMES",
     "COMPUTE_CATEGORIES",
+    "IN_FLIGHT_COUNTER",
     "Metric",
     "MetricsRegistry",
     "QUEUE_DEPTH_COUNTER",
@@ -73,6 +78,7 @@ __all__ = [
     "exposed_comm_ns",
     "gauge_series",
     "gini",
+    "interconnect_idle_ns",
     "link_stats",
     "link_utilization_series",
     "merged_intervals",

@@ -47,6 +47,7 @@ __all__ = [
     "compute_metrics",
     "exposed_comm_ns",
     "gini",
+    "interconnect_idle_ns",
     "link_stats",
     "overlap_fraction",
     "peak_to_mean",
@@ -197,6 +198,20 @@ def exposed_comm_ns(profiler: Profiler, edges: np.ndarray) -> float:
     return float(np.sum(widths * active * (1.0 - occupancy.values)))
 
 
+def interconnect_idle_ns(profiler: Profiler, edges: np.ndarray) -> float:
+    """Wall time during which *no* traffic moved on any link.
+
+    Per bin: ``bin_width · 1[comm == 0]`` — the inter-batch bubble the
+    continuous-batching scheduler exists to close.  Sequential serving
+    leaves the fabric dark between one batch's EMB drain and the next
+    batch's kernels; with K batches in flight the writes of batch k fill
+    the gap left by batch k+1's compute-only phases, so this shrinks.
+    """
+    comm = comm_rate_series(profiler, edges)
+    widths = np.diff(edges)
+    return float(np.sum(widths * (comm.values <= 0)))
+
+
 def peak_to_mean(values: np.ndarray) -> float:
     """Peak-to-mean ratio of a series (1.0 for flat, 0.0 for empty/all-zero)."""
     values = np.asarray(values, dtype=np.float64)
@@ -292,6 +307,17 @@ def compute_metrics(
         reg.record(
             "exposed_comm_share", exposed / wall, "fraction",
             "exposed comm time / run wall time",
+        )
+
+    idle = interconnect_idle_ns(profiler, edges)
+    reg.record(
+        "interconnect_idle_ns", idle, "ns",
+        "wall time with zero interconnect traffic (inter-batch bubbles)",
+    )
+    if wall > 0:
+        reg.record(
+            "interconnect_idle_share", idle / wall, "fraction",
+            "interconnect idle time / run wall time",
         )
 
     burst_edges = sample_edges(t0, t1, min(BURSTINESS_BINS, n_bins))

@@ -33,6 +33,8 @@ from .timeline import (
 __all__ = [
     "SCHEMA_VERSION",
     "QUEUE_DEPTH_COUNTER",
+    "IN_FLIGHT_COUNTER",
+    "BATCH_FORMED_COUNTER",
     "ReportValidationError",
     "RunReport",
     "collect_run_report",
@@ -44,6 +46,14 @@ SCHEMA_VERSION = 1
 
 #: level counter stamped by :class:`repro.core.serving.InferenceServer`
 QUEUE_DEPTH_COUNTER = "serving.queue_depth"
+
+#: level counter: batches currently executing on the cluster (≤ the
+#: scheduler's ``max_in_flight``); stamped +1 at dispatch, −1 at completion
+IN_FLIGHT_COUNTER = "serving.in_flight"
+
+#: event-counter prefix: one count per formed batch, suffixed by the
+#: formation trigger (``.size`` / ``.timeout`` / ``.exhausted``)
+BATCH_FORMED_COUNTER = "serving.batches_formed"
 
 
 class ReportValidationError(ValueError):
@@ -272,9 +282,10 @@ def collect_run_report(
         for dev in range(n_devices):
             ts = compute_occupancy_series(profiler, edges, dev)
             series[ts.name] = ts.as_dict()
-        depth = profiler.counters.get(QUEUE_DEPTH_COUNTER)
-        if depth is not None:
-            series[QUEUE_DEPTH_COUNTER] = gauge_series(depth, edges).as_dict()
+        for gauge_name in (QUEUE_DEPTH_COUNTER, IN_FLIGHT_COUNTER):
+            counter = profiler.counters.get(gauge_name)
+            if counter is not None:
+                series[gauge_name] = gauge_series(counter, edges).as_dict()
 
     faults: Dict[str, Any] = {}
     windows = _fault_windows(profiler)

@@ -1,0 +1,79 @@
+"""Regression tests for ServingResult edge cases.
+
+Covers the two bugs fixed alongside the scheduler work: percentile_ms on
+a single-sample run, and mean_batch_size when every request was shed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serving import ServingResult
+
+
+def result(latencies_ns, batch_sizes, **kw):
+    return ServingResult(
+        latencies_ns=np.asarray(latencies_ns, dtype=float),
+        batch_sizes=list(batch_sizes),
+        sim_duration_ns=kw.pop("sim_duration_ns", 1e6),
+        backend=kw.pop("backend", "pgas"),
+        **kw,
+    )
+
+
+class TestPercentile:
+    def test_single_sample_returns_that_sample(self):
+        res = result([2_000_000.0], [1])
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert res.percentile_ms(q) == 2.0
+
+    def test_out_of_range_quantile_raises(self):
+        res = result([1e6, 2e6], [2])
+        with pytest.raises(ValueError):
+            res.percentile_ms(-1)
+        with pytest.raises(ValueError):
+            res.percentile_ms(100.5)
+
+    def test_empty_raises(self):
+        res = result([], [], n_shed=4)
+        with pytest.raises(ValueError):
+            res.percentile_ms(50)
+
+    def test_interpolates_between_samples(self):
+        res = result([1e6, 2e6, 3e6, 4e6], [4])
+        assert res.p50_ms == pytest.approx(2.5)
+        assert res.percentile_ms(100) == pytest.approx(4.0)
+
+
+class TestMeanBatchSize:
+    def test_all_shed_returns_zero(self):
+        res = result([], [], n_shed=8)
+        assert res.mean_batch_size == 0.0
+        assert res.n_batches == 0
+
+    def test_normal_mean(self):
+        res = result([1e6] * 6, [4, 2], n_shed=0)
+        assert res.mean_batch_size == pytest.approx(3.0)
+
+    def test_numpy_batch_sizes_accepted(self):
+        res = result([1e6] * 6, np.array([4, 2]))
+        assert res.mean_batch_size == pytest.approx(3.0)
+
+
+class TestAllShedRun:
+    def test_as_dict_and_summary_survive_all_shed(self):
+        res = result([], [], n_shed=8)
+        d = res.as_dict()
+        assert d["n_requests"] == 0
+        assert d["n_shed"] == 8
+        assert d["mean_batch_size"] == 0.0
+        assert res.goodput_qps == 0.0
+        assert res.shed_fraction == 1.0
+        assert "shed" in res.summary()
+
+    def test_segment_means_none_without_segments(self):
+        res = result([], [], n_shed=2)
+        assert res.mean_form_ns == 0.0
+        assert res.mean_queue_ns == 0.0
+        assert res.mean_execute_ns == 0.0
