@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Wire compression: quantized embedding transfer, measured error.
+
+Runs one workload through the PGAS backend three ways: bare, wrapped with
+the fp32 passthrough codec (`backend="pgas+compress"`, which must be
+bit-identical and event-for-event free), and with row-scaled int8 (each
+64-dim pooled vector shrinks from 256 B to 68 B on the wire, paying an
+encode pass fused into the EMB kernel and a decode pass on the
+destination GPU).  Prints wire bytes, compression ratio, the measured
+round-trip error against the codec's per-row bound, and the simulated
+timing shift for both transports.
+
+Run:  python examples/compressed_retrieval.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CompressionSpec,
+    DistributedEmbedding,
+    SyntheticDataGenerator,
+    WorkloadConfig,
+)
+from repro.simgpu.units import to_ms
+
+
+def main() -> None:
+    config = WorkloadConfig(
+        num_tables=16,
+        rows_per_table=8_192,
+        dim=64,
+        batch_size=2_048,
+        max_pooling=8,
+        seed=42,
+    )
+    n_gpus = 2
+    print(f"workload: {config.num_tables} tables x {config.rows_per_table} rows "
+          f"x d={config.dim}, batch {config.batch_size}, {n_gpus} GPUs\n")
+
+    gen = SyntheticDataGenerator(config)
+    batch = gen.sparse_batch()
+
+    def build(backend, codec=None):
+        return DistributedEmbedding(
+            config, n_gpus, backend=backend,
+            compression=CompressionSpec(codec=codec) if codec else None,
+            materialize=True, rng=np.random.default_rng(0),
+        )
+
+    # fp32 passthrough is a correctness gate, not a feature: wrapping the
+    # backend with the identity codec must change nothing at all.
+    plain = build("pgas")
+    passthrough = build("pgas+compress", codec="fp32")
+    out_plain = plain.forward(batch).outputs
+    out_pass = passthrough.forward(batch).outputs
+    for g, (a, b) in enumerate(zip(out_plain, out_pass)):
+        assert np.array_equal(a, b), f"device {g}: fp32 passthrough diverged"
+    print("fp32 passthrough: pgas == pgas+compress (bit-identical)")
+
+    # int8: real quantization on every remote vector, measured error.
+    int8 = build("pgas+compress", codec="int8")
+    out_int8 = int8.forward(batch).outputs
+    adapter = int8.backend_adapter()
+    stats = adapter.errors
+    bound = adapter.codec.error_bound(
+        np.concatenate([o.reshape(-1, config.dim) for o in out_plain])
+    ).max()
+    worst = max(
+        float(np.abs(a.astype(np.float64) - b.astype(np.float64)).max())
+        for a, b in zip(out_plain, out_int8)
+    )
+    print(f"int8 outputs:     max |error| {worst:.3e} "
+          f"(codec bound {bound:.3e}), rmse {stats.rmse:.3e}")
+
+    # Wire + timing: same batch through the timed paths of both transports.
+    lengths = gen.lengths_batch()
+    rows = []
+    for base in ("pgas", "baseline"):
+        ref = build(base)
+        comp = build(f"{base}+compress", codec="int8")
+        t_ref = ref.forward_timed(lengths)
+        t_comp = comp.forward_timed(lengths)
+        raw, wire = comp.backend_adapter().wire_bytes_for(
+            comp.build_workloads(lengths)
+        )
+        rows.append((base, raw, wire, t_ref, t_comp))
+
+    print(f"\nint8 wire ({rows[0][1] / rows[0][2]:.2f}x compression, "
+          f"d={config.dim}: 256 B -> 68 B per vector):")
+    for base, raw, wire, t_ref, t_comp in rows:
+        print(f"  {base:8s}  {raw / 1e6:7.2f} MB -> {wire / 1e6:6.2f} MB on the wire"
+              f"  |  total {to_ms(t_ref.total_ns):7.3f} -> "
+              f"{to_ms(t_comp.total_ns):7.3f} ms"
+              f"  (comm {to_ms(t_ref.comm_ns):6.3f} -> {to_ms(t_comp.comm_ns):6.3f} ms)")
+    print("\nthe baseline's bulk all-to-all shrinks with the payload; PGAS "
+          "already hides\nits comm, so int8 mostly trades overlap headroom "
+          "for a decode tail there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@ Packages
     profiler.
 :mod:`repro.comm`
     Collective and PGAS communication layers.
+:mod:`repro.compress`
+    Wire codecs (fp32/fp16/int8/int4) and the ``"+compress"`` backends.
 :mod:`repro.dlrm`
     Numpy DLRM: embedding tables, jagged batches, MLPs, interaction,
     synthetic data.
@@ -70,6 +72,10 @@ from .faults import (
     ResilienceSpec,
     ResilientRetrieval,
 )
+
+# Importing repro.compress registers the "+compress" backends; keep it after core.
+from . import compress
+from .compress import CompressedRetrieval, CompressionSpec
 from .dlrm import (
     DLRM,
     DLRMConfig,
@@ -93,6 +99,8 @@ __all__ = [
     "CacheConfig",
     "CachedRetrieval",
     "Cluster",
+    "CompressedRetrieval",
+    "CompressionSpec",
     "DLRM",
     "DLRMConfig",
     "DLRMInferencePipeline",
@@ -128,6 +136,7 @@ __all__ = [
     "cache",
     "collect_run_report",
     "comm",
+    "compress",
     "core",
     "dgx_v100",
     "dlrm",

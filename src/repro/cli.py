@@ -9,6 +9,8 @@ Commands
 ``cachesweep``  hot-row cache hit rate / comm / speedup vs skew and capacity
 ``faultsweep``  serving SLOs (shed/degraded/p99/goodput) vs fault severity
 ``servesweep``  continuous-batching goodput vs in-flight depth K + BENCH_serving.json
+``compsweep``   codec x backend wire/time/error grid + BENCH_compression.json
+``backends``    list the registered backends with their capability flags
 ``plan``        capacity-aware table placement for a Criteo-like table set
 ``trace``       run one batch and write a chrome://tracing JSON timeline
 ``metrics``     pgas-vs-baseline telemetry metrics + BENCH_metrics.json
@@ -27,6 +29,7 @@ from typing import List, Optional
 
 from .bench.runner import EXPERIMENT_IDS, ExperimentRunner
 from .bench.sweeps import batch_size_sweep, pooling_sweep, table_count_sweep
+from .compress import CODEC_NAMES
 from .core.planner import plan_table_wise
 from .core.retrieval import DistributedEmbedding, available_backends, backend_spec
 from .core.runspec import PRESETS
@@ -134,6 +137,30 @@ def build_parser() -> argparse.ArgumentParser:
     ss.add_argument("--seed", type=int, default=0)
     ss.add_argument("--output", default="BENCH_serving.json",
                     help="machine-readable artifact path ('' to skip)")
+
+    cp = sub.add_parser("compsweep",
+                        help="codec x backend compression sweep + BENCH_compression.json")
+    cp.add_argument("--preset", choices=PRESETS, default="tiny",
+                    help="workload preset (resolved via preset_runspec)")
+    cp.add_argument("--gpus", type=int, default=2, help="simulated GPU count")
+    cp.add_argument("--codecs", nargs="+", choices=CODEC_NAMES,
+                    default=list(CODEC_NAMES), help="wire codecs to measure")
+    cp.add_argument("--backends", nargs="+", choices=("pgas", "baseline"),
+                    default=["pgas", "baseline"], help="base backends to wrap")
+    cp.add_argument("--batches", type=int, default=2, help="batches per point")
+    cp.add_argument("--batch-sizes", type=int, nargs="+", default=None,
+                    help="batch sizes to sweep (default: the preset's)")
+    cp.add_argument("--scale", type=float, default=1.0,
+                    help="batch-size scale factor (1.0 = preset size)")
+    cp.add_argument("--error-rows", type=int, default=512,
+                    help="synthetic vectors per codec for the error measurement")
+    cp.add_argument("--seed", type=int, default=None,
+                    help="workload seed override (default: preset's)")
+    cp.add_argument("--output", default="BENCH_compression.json",
+                    help="machine-readable artifact path ('' to skip)")
+
+    sub.add_parser("backends",
+                   help="list registered backends and their capability flags")
 
     pl = sub.add_parser("plan", help="capacity-aware table placement")
     pl.add_argument("--criteo-tables", type=int, default=26)
@@ -320,6 +347,53 @@ def _cmd_servesweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compsweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.compsweep import run_comp_sweep, validate_compsweep_json
+
+    sweep = run_comp_sweep(
+        args.preset,
+        n_devices=args.gpus,
+        codecs=args.codecs,
+        bases=args.backends,
+        batch_sizes=args.batch_sizes,
+        n_batches=args.batches,
+        scale=args.scale,
+        error_rows=args.error_rows,
+        seed=args.seed,
+    )
+    print(sweep.render())
+    if args.output:
+        sweep.write_json(args.output)
+        # Self-check: the artifact we just wrote must round-trip the schema.
+        with open(args.output) as fh:
+            validate_compsweep_json(json.load(fh))
+        print(f"wrote {args.output} (schema-valid, {len(sweep.points)} points)")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from .bench.reporting import format_table
+
+    rows = []
+    for info in available_backends():
+        flags = [info.base]
+        if info.cached:
+            flags.append("cache")
+        if info.resilient:
+            flags.append("resilient")
+        if info.compressed:
+            flags.append("compress")
+        if info.requires_indices:
+            flags.append("indices")
+        if not info.functional:
+            flags.append("timed-only")
+        rows.append([str(info), "+".join(flags), info.description])
+    print(format_table(["backend", "flags", "description"], rows))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     cfg = _workload_from(args)
     if args.zipf is not None:
@@ -380,6 +454,8 @@ _COMMANDS = {
     "cachesweep": _cmd_cachesweep,
     "faultsweep": _cmd_faultsweep,
     "servesweep": _cmd_servesweep,
+    "compsweep": _cmd_compsweep,
+    "backends": _cmd_backends,
     "plan": _cmd_plan,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

@@ -129,8 +129,14 @@ class CollectiveContext:
     # -- internals -------------------------------------------------------------
 
     def _pairwise_transfer(self, src: int, dst: int, nbytes: float) -> List[Event]:
-        """Chunked transfer src→dst; returns per-chunk completion events."""
-        if nbytes <= 0:
+        """Chunked transfer src→dst; returns per-chunk completion events.
+
+        Zero-byte pairs complete immediately (no zero-length chunk is
+        scheduled); negative byte counts are a caller bug and raise.
+        """
+        if nbytes < 0:
+            raise ValueError(f"transfer bytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
             return []
         spec = self.spec
         n_chunks = math.ceil(nbytes / spec.chunk_bytes)
@@ -187,6 +193,11 @@ class CollectiveContext:
             raise ValueError(f"split_bytes must be ({G}, {G}), got {split.shape}")
         if np.any(split < 0):
             raise ValueError("split_bytes must be non-negative")
+        if not split.any():
+            # Degenerate all-zero split: complete after the control path
+            # alone (launch + wait are still charged — the call happened);
+            # no zero-length transfers or exchange rounds are scheduled.
+            return self._start("all_to_all_single", lambda: [])
 
         if self.spec.alltoall_algorithm == "pairwise":
             return self._pairwise_rounds_alltoall(split)
@@ -230,6 +241,8 @@ class CollectiveContext:
         contrib = [float(b) for b in bytes_per_rank]
         if len(contrib) != G:
             raise ValueError(f"need {G} contributions, got {len(contrib)}")
+        if any(b < 0 for b in contrib):
+            raise ValueError("bytes_per_rank must be non-negative")
 
         def transfers() -> List[Event]:
             events: List[Event] = []

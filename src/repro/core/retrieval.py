@@ -35,6 +35,9 @@ layered on top of it.  Consumers dispatch on the suffix:
 * ``"+resilient"`` marks a backend wrapped in the fault-tolerant retry /
   reroute / degrade layer, configured by a
   :class:`repro.faults.ResilienceSpec`.
+* ``"+compress"`` marks a backend whose remote payloads are quantised by
+  a row codec before crossing the wire, configured by a
+  :class:`repro.compress.CompressionSpec`.
 * A bare base name is the plain timed retrieval.
 
 Code that needs the base strategy (e.g. to pick the functional forward)
@@ -189,6 +192,11 @@ class BackendInfo(str):
         """True for ``"+resilient"`` backends (fault-tolerant wrapper)."""
         return "+resilient" in self
 
+    @property
+    def compressed(self) -> bool:
+        """True for ``"+compress"`` backends (quantized wire payloads)."""
+        return "+compress" in self
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<BackendInfo {str(self)!r}: {self.description}>"
 
@@ -340,12 +348,15 @@ class DistributedEmbedding:
         pgas_spec: Optional[PGASSpec] = None,
         cache: Optional[object] = None,
         resilience: Optional[object] = None,
+        compression: Optional[object] = None,
         rng: Optional[np.random.Generator] = None,
     ):
         """``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
         ``"+cache"`` backends; ``resilience`` is a
         :class:`repro.faults.ResilienceSpec` consumed by the
-        ``"+resilient"`` backends (each ignored by the other backends)."""
+        ``"+resilient"`` backends; ``compression`` is a
+        :class:`repro.compress.CompressionSpec` consumed by the
+        ``"+compress"`` backends (each ignored by the other backends)."""
         backend_spec(backend)  # unknown names raise here
         if isinstance(tables, WorkloadConfig):
             table_configs = tables.table_configs()
@@ -363,6 +374,7 @@ class DistributedEmbedding:
         self.pgas_spec = pgas_spec
         self.cache_config = cache
         self.resilience_config = resilience
+        self.compression_config = compression
 
         # Register weight storage with the per-device memory accountants.
         self._weight_buffers = []
@@ -396,6 +408,7 @@ class DistributedEmbedding:
             backend=spec.backend,
             cache=spec.cache,
             resilience=spec.resilience,
+            compression=spec.compression,
         )
         kwargs.update(overrides)
         return cls(spec.workload, spec.n_devices, **kwargs)

@@ -64,6 +64,7 @@ class RunSpec:
     interaction: Literal["dot", "cat", "sum"] = "dot"
     cache: Optional[object] = None  #: repro.cache.CacheConfig
     resilience: Optional[object] = None  #: repro.faults.ResilienceSpec
+    compression: Optional[object] = None  #: repro.compress.CompressionSpec
     serving: Optional[ServingSpec] = None
     scheduler: Optional[SchedulerSpec] = None  #: overrides serving.scheduler
     name: str = ""  #: free-form label (presets stamp theirs here)
@@ -110,6 +111,14 @@ class RunSpec:
                     f"RunSpec.resilience must be a repro.faults.ResilienceSpec, "
                     f"got {type(self.resilience).__name__}"
                 )
+        if self.compression is not None:
+            from ..compress import CompressionSpec  # lazy: avoid import cycle
+
+            if not isinstance(self.compression, CompressionSpec):
+                raise TypeError(
+                    f"RunSpec.compression must be a repro.compress.CompressionSpec, "
+                    f"got {type(self.compression).__name__}"
+                )
 
     # -- derived section views ---------------------------------------------------
 
@@ -155,6 +164,9 @@ class RunSpec:
             "resilience": (
                 dataclasses.asdict(self.resilience) if self.resilience else None
             ),
+            "compression": (
+                dataclasses.asdict(self.compression) if self.compression else None
+            ),
             "serving": dataclasses.asdict(self.serving) if self.serving else None,
             "scheduler": (
                 dataclasses.asdict(self.scheduler) if self.scheduler else None
@@ -168,7 +180,7 @@ class RunSpec:
             raise TypeError(f"RunSpec payload must be a dict, got {type(data).__name__}")
         known = {
             "name", "n_devices", "backend", "workload", "model",
-            "cache", "resilience", "serving", "scheduler",
+            "cache", "resilience", "compression", "serving", "scheduler",
         }
         unknown = set(data) - known
         if unknown:
@@ -176,6 +188,7 @@ class RunSpec:
         if "workload" not in data:
             raise ValueError("RunSpec payload needs a 'workload' section")
         from ..cache import CacheConfig  # lazy: avoid import cycle
+        from ..compress import CompressionSpec
         from ..faults import ResilienceSpec
 
         model = dict(data.get("model") or {})
@@ -203,6 +216,9 @@ class RunSpec:
             cache=_build_optional(CacheConfig, data.get("cache"), "cache"),
             resilience=_build_optional(
                 ResilienceSpec, data.get("resilience"), "resilience"
+            ),
+            compression=_build_optional(
+                CompressionSpec, data.get("compression"), "compression"
             ),
             serving=serving,
             scheduler=_build_optional(

@@ -362,4 +362,53 @@ def compute_metrics(
             f"mean fraction of the run device {dev} spent computing",
         )
 
+    # Compression (repro.compress): counter names are hardcoded rather than
+    # imported to keep telemetry free of a repro.compress dependency.
+    wire_counter = profiler.counters.get("compress.bytes_on_wire")
+    if wire_counter is not None:
+        wire = float(wire_counter.total)
+        raw_counter = profiler.counters.get("compress.bytes_uncompressed")
+        raw = float(raw_counter.total) if raw_counter is not None else 0.0
+        reg.record(
+            "compression.bytes_on_wire", wire, "bytes",
+            "remote payload bytes after codec compression",
+        )
+        reg.record(
+            "compression.bytes_uncompressed", raw, "bytes",
+            "remote payload bytes before codec compression (fp32)",
+        )
+        if wire > 0:
+            reg.record(
+                "compression.ratio", raw / wire, "ratio",
+                "uncompressed / on-wire remote payload bytes",
+            )
+        for suffix, desc in (
+            ("encode_ns", "modelled source-side encode kernel time"),
+            ("decode_ns", "modelled destination-side decode kernel time"),
+        ):
+            counter = profiler.counters.get(f"compress.{suffix}")
+            reg.record(
+                f"compression.{suffix}",
+                float(counter.total) if counter is not None else 0.0,
+                "ns",
+                desc,
+            )
+        err_counter = profiler.counters.get("compress.max_abs_error")
+        if err_counter is not None:
+            reg.record(
+                "compression.max_abs_error",
+                max((delta for _, delta in err_counter.events()), default=0.0),
+                "abs",
+                "largest measured |decoded - fp32| across functional batches",
+            )
+        sq = profiler.counters.get("compress.sq_error")
+        n_elems = profiler.counters.get("compress.error_elems")
+        if sq is not None and n_elems is not None and n_elems.total > 0:
+            reg.record(
+                "compression.rmse",
+                float(np.sqrt(sq.total / n_elems.total)),
+                "abs",
+                "RMS of measured decode error across functional batches",
+            )
+
     return reg

@@ -42,7 +42,8 @@ __all__ = [
 ]
 
 #: bump on any backwards-incompatible change to the report layout
-SCHEMA_VERSION = 1
+#: (2: added the ``compression`` counter section)
+SCHEMA_VERSION = 2
 
 #: level counter stamped by :class:`repro.core.serving.InferenceServer`
 QUEUE_DEPTH_COUNTER = "serving.queue_depth"
@@ -97,6 +98,7 @@ class RunReport:
     links: Dict[str, Dict[str, float]] = field(default_factory=dict)
     series: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
+    compression: Dict[str, float] = field(default_factory=dict)
     serving: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -124,6 +126,7 @@ class RunReport:
                 "links": self.links,
                 "series": self.series,
                 "cache": self.cache,
+                "compression": self.compression,
                 "serving": self.serving,
                 "faults": self.faults,
                 "meta": self.meta,
@@ -148,6 +151,7 @@ class RunReport:
             links=dict(data.get("links", {})),
             series=dict(data.get("series", {})),
             cache=dict(data.get("cache", {})),
+            compression=dict(data.get("compression", {})),
             serving=dict(data.get("serving", {})),
             faults=dict(data.get("faults", {})),
             meta=dict(data.get("meta", {})),
@@ -170,6 +174,7 @@ _SCHEMA: Dict[str, tuple] = {
     "links": (False, (dict,)),
     "series": (False, (dict,)),
     "cache": (False, (dict,)),
+    "compression": (False, (dict,)),
     "serving": (False, (dict,)),
     "faults": (False, (dict,)),
     "meta": (False, (dict,)),
@@ -208,7 +213,7 @@ def validate_report(data: Any) -> None:
             payload["value"], (int, float)
         ):
             raise ReportValidationError(f"metric {name!r} value must be a number")
-    for key in ("timing", "cache"):
+    for key in ("timing", "cache", "compression"):
         for name, value in data.get(key, {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ReportValidationError(f"{key}[{name!r}] must be a number")
@@ -304,6 +309,7 @@ def collect_run_report(
         links=link_stats(profiler, burst_edges, topology=topology),
         series=series,
         cache=_counter_totals(profiler, "cache."),
+        compression=_counter_totals(profiler, "compress."),
         serving=to_dict(serving),
         faults=faults,
         meta=dict(meta or {}),

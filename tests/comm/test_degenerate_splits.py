@@ -1,0 +1,98 @@
+"""Regression tests: degenerate splits in the collective layer.
+
+All-zero splits must complete after the control path alone (no
+zero-length transfers or exchange rounds scheduled); negative byte
+counts must raise instead of reaching the interconnect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.collective import CollectiveContext, CollectiveSpec
+from repro.simgpu import dgx_v100
+from repro.simgpu.interconnect import Interconnect
+from repro.simgpu.units import MiB, us
+
+
+def run_collective(cluster, start_fn):
+    """Drive a collective to completion inside a host process."""
+
+    def host(cl):
+        handle = start_fn()
+        yield from handle.wait()
+        return handle
+
+    cluster.run(host)
+
+
+def fast_spec(**kw):
+    """A spec with zero control overheads for pure-transfer arithmetic."""
+    defaults = dict(
+        chunk_bytes=4 * MiB,
+        launch_overhead_ns=0.0,
+        per_chunk_header_bytes=0,
+        wait_overhead_ns=0.0,
+        bandwidth_efficiency=1.0,
+    )
+    defaults.update(kw)
+    return CollectiveSpec(**defaults)
+
+
+class TestAllZeroSplits:
+    @pytest.mark.parametrize("algo", ["direct", "pairwise"])
+    def test_all_zero_completes_immediately(self, algo):
+        cl = dgx_v100(4)
+        ctx = CollectiveContext(cl, fast_spec(alltoall_algorithm=algo))
+        run_collective(cl, lambda: ctx.all_to_all_single(np.zeros((4, 4))))
+        assert cl.engine.now == 0.0
+        assert cl.profiler.counter(Interconnect.COUNTER).total == 0.0
+
+    @pytest.mark.parametrize("algo", ["direct", "pairwise"])
+    def test_all_zero_still_charges_control_path(self, algo):
+        """The call happened: launch + wait overheads are not skipped."""
+        cl = dgx_v100(2)
+        spec = fast_spec(
+            launch_overhead_ns=30 * us,
+            wait_overhead_ns=8 * us,
+            alltoall_algorithm=algo,
+        )
+        ctx = CollectiveContext(cl, spec)
+        run_collective(cl, lambda: ctx.all_to_all_single(np.zeros((2, 2))))
+        assert cl.engine.now == pytest.approx(38 * us)
+
+    def test_all_zero_schedules_no_processes(self):
+        """No zero-length chunks or pairwise rounds are ever created."""
+        cl = dgx_v100(4)
+        ctx = CollectiveContext(cl, fast_spec(alltoall_algorithm="pairwise"))
+        run_collective(cl, lambda: ctx.all_to_all_single(np.zeros((4, 4))))
+        assert not cl.profiler.counter(Interconnect.COUNTER).events()
+
+    def test_diagonal_only_split_is_equivalent_to_zero(self):
+        cl = dgx_v100(2)
+        ctx = CollectiveContext(cl, fast_spec())
+        split = np.diag([1e9, 1e9])
+        run_collective(cl, lambda: ctx.all_to_all_single(split))
+        assert cl.profiler.counter(Interconnect.COUNTER).total == 0.0
+
+
+class TestNegativeBytes:
+    def test_all_to_all_negative_entry_raises(self):
+        ctx = CollectiveContext(dgx_v100(2))
+        with pytest.raises(ValueError, match="non-negative"):
+            ctx.all_to_all_single(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_pairwise_transfer_negative_raises(self):
+        ctx = CollectiveContext(dgx_v100(2), fast_spec())
+        with pytest.raises(ValueError, match="non-negative"):
+            ctx._pairwise_transfer(0, 1, -8.0)
+
+    def test_pairwise_transfer_zero_returns_no_events(self):
+        ctx = CollectiveContext(dgx_v100(2), fast_spec())
+        assert ctx._pairwise_transfer(0, 1, 0.0) == []
+
+    def test_all_gather_negative_contribution_raises(self):
+        ctx = CollectiveContext(dgx_v100(2), fast_spec())
+        with pytest.raises(ValueError, match="non-negative"):
+            ctx.all_gather([100.0, -1.0])

@@ -1,0 +1,146 @@
+"""Compression sweep and its BENCH_compression.json self-check."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.compsweep import run_comp_sweep, validate_compsweep_json
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_comp_sweep(
+        "tiny", codecs=("fp32", "int8"), n_batches=1, error_rows=64
+    )
+
+
+class TestSweep:
+    def test_grid_is_complete(self, sweep):
+        assert len(sweep.points) == 4  # 2 codecs x 2 bases
+        assert sweep.point("int8", "pgas", 256).codec == "int8"
+        with pytest.raises(KeyError):
+            sweep.point("int4", "pgas", 256)
+
+    def test_int8_undercuts_fp32_wire(self, sweep):
+        for base in ("pgas", "baseline"):
+            fp32 = sweep.point("fp32", base, 256)
+            int8 = sweep.point("int8", base, 256)
+            assert int8.wire_bytes < fp32.wire_bytes
+            assert int8.compression_ratio == pytest.approx(64 / 20)
+            assert fp32.compression_ratio == 1.0
+
+    def test_fp32_is_exact_and_free(self, sweep):
+        for base in ("pgas", "baseline"):
+            p = sweep.point("fp32", base, 256)
+            assert p.max_abs_error == 0.0 and p.within_bound
+            assert p.encode_ns == 0.0 and p.decode_ns == 0.0
+            assert p.wire_bytes == p.uncompressed_bytes
+
+    def test_baseline_comm_shrinks(self, sweep):
+        fp32 = sweep.point("fp32", "baseline", 256)
+        int8 = sweep.point("int8", "baseline", 256)
+        assert int8.comm_ns < fp32.comm_ns
+
+    def test_within_bound_everywhere(self, sweep):
+        assert all(p.within_bound for p in sweep.points)
+
+    def test_render_lists_codecs(self, sweep):
+        text = sweep.render()
+        assert "int8" in text and "fp32" in text and "ratio" in text
+
+    def test_invalid_axes_raise(self):
+        with pytest.raises(ValueError, match="axis"):
+            run_comp_sweep("tiny", codecs=())
+        with pytest.raises(ValueError, match="base backend"):
+            run_comp_sweep("tiny", bases=("nvshmem",))
+
+
+class TestArtifact:
+    def test_write_read_validate(self, sweep, tmp_path):
+        path = tmp_path / "BENCH_compression.json"
+        sweep.write_json(str(path))
+        data = json.loads(path.read_text())
+        validate_compsweep_json(data)
+        assert data["schema_version"] == 1
+        assert len(data["points"]) == 4
+
+    def test_validator_rejects_tampering(self, sweep):
+        good = sweep.as_dict()
+        validate_compsweep_json(good)
+
+        bad = copy.deepcopy(good)
+        bad["points"][0]["within_bound"] = False
+        with pytest.raises(ValueError, match="bound"):
+            validate_compsweep_json(bad)
+
+        bad = copy.deepcopy(good)
+        for p in bad["points"]:
+            if p["codec"] == "int8":
+                p["wire_bytes"] = p["uncompressed_bytes"] * 2
+        with pytest.raises(ValueError):
+            validate_compsweep_json(bad)
+
+        bad = copy.deepcopy(good)
+        for p in bad["points"]:
+            if p["codec"] == "fp32":
+                p["max_abs_error"] = 0.1
+        with pytest.raises(ValueError, match="exact"):
+            validate_compsweep_json(bad)
+
+        bad = copy.deepcopy(good)
+        bad["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_compsweep_json(bad)
+
+        bad = copy.deepcopy(good)
+        bad["points"] = []
+        with pytest.raises(ValueError, match="point"):
+            validate_compsweep_json(bad)
+
+        bad = copy.deepcopy(good)
+        del bad["points"][0]["rmse"]
+        with pytest.raises(ValueError, match="rmse"):
+            validate_compsweep_json(bad)
+
+    def test_validator_catches_comm_regression(self, sweep):
+        bad = sweep.as_dict()
+        for p in bad["points"]:
+            if p["codec"] == "int8" and p["backend"] == "baseline":
+                p["comm_ns"] = 1e12
+        with pytest.raises(ValueError, match="all-to-all"):
+            validate_compsweep_json(bad)
+
+
+class TestTelemetryReport:
+    def test_compression_section_lands_in_run_report(self):
+        import numpy as np
+
+        from repro import (
+            CompressionSpec,
+            DistributedEmbedding,
+            SyntheticDataGenerator,
+            WorkloadConfig,
+        )
+
+        cfg = WorkloadConfig(
+            num_tables=8, rows_per_table=2000, dim=16, batch_size=256, max_pooling=8
+        )
+        emb = DistributedEmbedding(
+            cfg, 2, backend="pgas+compress",
+            compression=CompressionSpec(codec="int8"),
+            materialize=True, rng=np.random.default_rng(0),
+        )
+        timing = emb.forward(SyntheticDataGenerator(cfg).sparse_batch()).timing
+        report = emb.telemetry_report(timing, workload=cfg)
+        assert report.compression["compress.bytes_on_wire"] > 0
+        assert report.metric("compression.ratio") == pytest.approx(64 / 20)
+        assert report.metric("compression.max_abs_error") > 0
+        assert report.metric("compression.rmse") > 0
+        # schema round-trip with the new section
+        from repro.telemetry import RunReport
+
+        again = RunReport.from_json(report.to_json())
+        assert again.to_json() == report.to_json()

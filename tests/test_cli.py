@@ -132,6 +132,48 @@ class TestMetrics:
         assert "wrote" not in out
 
 
+class TestBackends:
+    def test_lists_registry_with_flags(self, capsys):
+        code, out = run_cli(capsys, "backends")
+        assert code == 0
+        for name in ("pgas", "baseline", "pgas+cache", "pgas+compress",
+                     "baseline+compress"):
+            assert name in out
+        assert "compress" in out and "indices" in out
+        assert "quantized" in out  # descriptions are printed
+
+
+class TestCompsweep:
+    def test_tiny_sweep_writes_valid_artifact(self, capsys, tmp_path):
+        from repro.bench.compsweep import validate_compsweep_json
+
+        out_path = tmp_path / "BENCH_compression.json"
+        code, out = run_cli(
+            capsys, "compsweep", "--preset", "tiny", "--batches", "1",
+            "--codecs", "fp32", "int8", "--output", str(out_path),
+        )
+        assert code == 0
+        assert "compression sweep" in out
+        assert "schema-valid" in out
+        data = json.loads(out_path.read_text())
+        validate_compsweep_json(data)
+        by_key = {(p["codec"], p["backend"]): p for p in data["points"]}
+        assert by_key[("int8", "baseline")]["wire_bytes"] < \
+            by_key[("fp32", "baseline")]["wire_bytes"]
+
+    def test_skip_output(self, capsys):
+        code, out = run_cli(
+            capsys, "compsweep", "--preset", "tiny", "--batches", "1",
+            "--codecs", "fp32", "--backends", "pgas", "--output", "",
+        )
+        assert code == 0
+        assert "wrote" not in out
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compsweep", "--codecs", "zstd"])
+
+
 class TestReproduce:
     def test_single_artifact_small(self, capsys):
         code, out = run_cli(
