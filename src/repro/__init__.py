@@ -17,6 +17,9 @@ Packages
     Collective and PGAS communication layers.
 :mod:`repro.compress`
     Wire codecs (fp32/fp16/int8/int4) and the ``"+compress"`` backends.
+:mod:`repro.replication`
+    Shard replication, failover routing, online recovery — the
+    ``"+replicated"`` backends.
 :mod:`repro.dlrm`
     Numpy DLRM: embedding tables, jagged batches, MLPs, interaction,
     synthetic data.
@@ -76,6 +79,11 @@ from .faults import (
 # Importing repro.compress registers the "+compress" backends; keep it after core.
 from . import compress
 from .compress import CompressedRetrieval, CompressionSpec
+
+# Importing repro.replication registers the "+replicated" backends; keep it
+# after core and faults (failover keys off the device_down fault kind).
+from . import replication
+from .replication import ReplicatedRetrieval, ReplicationSpec
 from .dlrm import (
     DLRM,
     DLRMConfig,
@@ -119,6 +127,8 @@ __all__ = [
     "PGASFusedRetrieval",
     "PhaseTiming",
     "RunReport",
+    "ReplicatedRetrieval",
+    "ReplicationSpec",
     "ResilienceSpec",
     "ResilientRetrieval",
     "RowWiseSharding",
@@ -141,6 +151,7 @@ __all__ = [
     "dgx_v100",
     "dlrm",
     "faults",
+    "replication",
     "simgpu",
     "telemetry",
 ]

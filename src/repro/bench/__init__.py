@@ -12,6 +12,12 @@ from .cachesweep import (
     serving_cache_comparison,
 )
 from .capacity import CapacityPoint, CapacityStudy, run_capacity_study
+from .chaossweep import (
+    ChaosSweepPoint,
+    ChaosSweepResult,
+    run_chaos_sweep,
+    validate_chaossweep_json,
+)
 from .faultsweep import FaultSweepPoint, FaultSweepResult, run_fault_sweep
 from .commvolume import CommVolumeTrace, UNIT_BYTES, trace_comm_volume
 from .reporting import (
@@ -63,6 +69,10 @@ __all__ = [
     "CapacityPoint",
     "CapacityStudy",
     "run_capacity_study",
+    "ChaosSweepPoint",
+    "ChaosSweepResult",
+    "run_chaos_sweep",
+    "validate_chaossweep_json",
     "FaultSweepPoint",
     "FaultSweepResult",
     "run_fault_sweep",

@@ -10,6 +10,7 @@ Commands
 ``faultsweep``  serving SLOs (shed/degraded/p99/goodput) vs fault severity
 ``servesweep``  continuous-batching goodput vs in-flight depth K + BENCH_serving.json
 ``compsweep``   codec x backend wire/time/error grid + BENCH_compression.json
+``chaossweep``  availability/goodput vs replication k x failures + BENCH_availability.json
 ``backends``    list the registered backends with their capability flags
 ``plan``        capacity-aware table placement for a Criteo-like table set
 ``trace``       run one batch and write a chrome://tracing JSON timeline
@@ -157,6 +158,31 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--seed", type=int, default=None,
                     help="workload seed override (default: preset's)")
     cp.add_argument("--output", default="BENCH_compression.json",
+                    help="machine-readable artifact path ('' to skip)")
+
+    ch = sub.add_parser("chaossweep",
+                        help="replication/failover availability sweep + "
+                             "BENCH_availability.json")
+    ch.add_argument("--preset", choices=PRESETS, default="tiny",
+                    help="workload preset (resolved via preset_runspec)")
+    ch.add_argument("--gpus", type=int, default=4, help="simulated GPU count")
+    ch.add_argument("--k", type=int, nargs="+", default=[1, 2],
+                    help="replication factors to measure")
+    ch.add_argument("--failures", type=int, nargs="+", default=[0, 1],
+                    help="permanent device_down counts per point")
+    ch.add_argument("--backends", nargs="+", choices=("pgas", "baseline"),
+                    default=["pgas", "baseline"], help="base backends to wrap")
+    ch.add_argument("--placement", choices=("spread", "ring"), default="spread",
+                    help="replica placement policy")
+    ch.add_argument("--batches", type=int, default=6,
+                    help="batches per point (first is the healthy warm-up)")
+    ch.add_argument("--recovery-share", type=float, default=0.25,
+                    help="link bandwidth share granted to recovery streams")
+    ch.add_argument("--scale", type=float, default=1.0,
+                    help="batch-size scale factor (1.0 = preset size)")
+    ch.add_argument("--seed", type=int, default=None,
+                    help="workload seed override (default: preset's)")
+    ch.add_argument("--output", default="BENCH_availability.json",
                     help="machine-readable artifact path ('' to skip)")
 
     sub.add_parser("backends",
@@ -373,6 +399,33 @@ def _cmd_compsweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaossweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.chaossweep import run_chaos_sweep, validate_chaossweep_json
+
+    sweep = run_chaos_sweep(
+        args.preset,
+        n_devices=args.gpus,
+        ks=args.k,
+        failure_counts=args.failures,
+        bases=args.backends,
+        placement=args.placement,
+        n_batches=args.batches,
+        recovery_bandwidth_share=args.recovery_share,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(sweep.render())
+    if args.output:
+        sweep.write_json(args.output)
+        # Self-check: the artifact we just wrote must round-trip the schema.
+        with open(args.output) as fh:
+            validate_chaossweep_json(json.load(fh))
+        print(f"wrote {args.output} (schema-valid, {len(sweep.points)} points)")
+    return 0
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     from .bench.reporting import format_table
 
@@ -385,6 +438,8 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             flags.append("resilient")
         if info.compressed:
             flags.append("compress")
+        if info.replicated:
+            flags.append("replication")
         if info.requires_indices:
             flags.append("indices")
         if not info.functional:
@@ -455,6 +510,7 @@ _COMMANDS = {
     "faultsweep": _cmd_faultsweep,
     "servesweep": _cmd_servesweep,
     "compsweep": _cmd_compsweep,
+    "chaossweep": _cmd_chaossweep,
     "backends": _cmd_backends,
     "plan": _cmd_plan,
     "trace": _cmd_trace,

@@ -38,6 +38,9 @@ layered on top of it.  Consumers dispatch on the suffix:
 * ``"+compress"`` marks a backend whose remote payloads are quantised by
   a row codec before crossing the wire, configured by a
   :class:`repro.compress.CompressionSpec`.
+* ``"+replicated"`` marks a backend with k-way shard replicas, heartbeat
+  failure detection, failover routing, and online re-replication,
+  configured by a :class:`repro.replication.ReplicationSpec`.
 * A bare base name is the plain timed retrieval.
 
 Code that needs the base strategy (e.g. to pick the functional forward)
@@ -45,6 +48,12 @@ takes ``name.split("+", 1)[0]``; code that needs a capability checks the
 suffix — or, better, the :class:`BackendInfo` flags that
 :func:`available_backends` returns.  Registering a name that is already
 taken raises (pass ``overwrite=True`` to replace deliberately).
+
+Stacking wrappers (two or more ``+<feature>`` suffixes, e.g.
+``"pgas+compress+resilient"``) has no defined semantics unless someone
+registers that composed backend explicitly: looking up an unregistered
+composition raises a ``ValueError`` naming the unsupported combination
+rather than silently picking one wrapper order.
 
 Example
 -------
@@ -197,6 +206,11 @@ class BackendInfo(str):
         """True for ``"+compress"`` backends (quantized wire payloads)."""
         return "+compress" in self
 
+    @property
+    def replicated(self) -> bool:
+        """True for ``"+replicated"`` backends (shard replicas + failover)."""
+        return "+replicated" in self
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<BackendInfo {str(self)!r}: {self.description}>"
 
@@ -224,6 +238,11 @@ def register_backend(
     """
     if not name:
         raise ValueError("backend name must be non-empty")
+    if any(not part for part in name.split("+")):
+        raise ValueError(
+            f"malformed backend name {name!r}: empty base or feature segment "
+            f"(expected '<base>' or '<base>+<feature>[+<feature>...]')"
+        )
     if name in _BACKENDS and not overwrite:
         raise ValueError(
             f"backend {name!r} is already registered "
@@ -241,13 +260,29 @@ def register_backend(
 
 
 def backend_spec(name: str) -> BackendSpec:
-    """Look up a registered backend; unknown names raise ``ValueError``."""
+    """Look up a registered backend; unknown names raise ``ValueError``.
+
+    Unregistered wrapper *compositions* (two or more ``+<feature>``
+    suffixes) get a dedicated error naming the combination: stacking
+    wrappers is undefined unless the composed backend was registered
+    explicitly (wrapper order changes semantics, so the registry refuses
+    to guess one).
+    """
     try:
         return _BACKENDS[name]
     except KeyError:
+        pass
+    features = name.split("+")[1:]
+    if len(features) >= 2:
         raise ValueError(
-            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
-        ) from None
+            f"backend {name!r} is not registered: stacking the wrapper "
+            f"features {' + '.join(features)} has no defined composition "
+            f"order; register the composed backend explicitly with "
+            f"register_backend() to support it"
+        )
+    raise ValueError(
+        f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+    )
 
 
 def available_backends() -> List[BackendInfo]:
@@ -349,6 +384,7 @@ class DistributedEmbedding:
         cache: Optional[object] = None,
         resilience: Optional[object] = None,
         compression: Optional[object] = None,
+        replication: Optional[object] = None,
         rng: Optional[np.random.Generator] = None,
     ):
         """``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
@@ -356,7 +392,9 @@ class DistributedEmbedding:
         :class:`repro.faults.ResilienceSpec` consumed by the
         ``"+resilient"`` backends; ``compression`` is a
         :class:`repro.compress.CompressionSpec` consumed by the
-        ``"+compress"`` backends (each ignored by the other backends)."""
+        ``"+compress"`` backends; ``replication`` is a
+        :class:`repro.replication.ReplicationSpec` consumed by the
+        ``"+replicated"`` backends (each ignored by the other backends)."""
         backend_spec(backend)  # unknown names raise here
         if isinstance(tables, WorkloadConfig):
             table_configs = tables.table_configs()
@@ -375,6 +413,7 @@ class DistributedEmbedding:
         self.cache_config = cache
         self.resilience_config = resilience
         self.compression_config = compression
+        self.replication_config = replication
 
         # Register weight storage with the per-device memory accountants.
         self._weight_buffers = []
@@ -409,6 +448,7 @@ class DistributedEmbedding:
             cache=spec.cache,
             resilience=spec.resilience,
             compression=spec.compression,
+            replication=spec.replication,
         )
         kwargs.update(overrides)
         return cls(spec.workload, spec.n_devices, **kwargs)

@@ -65,6 +65,7 @@ class RunSpec:
     cache: Optional[object] = None  #: repro.cache.CacheConfig
     resilience: Optional[object] = None  #: repro.faults.ResilienceSpec
     compression: Optional[object] = None  #: repro.compress.CompressionSpec
+    replication: Optional[object] = None  #: repro.replication.ReplicationSpec
     serving: Optional[ServingSpec] = None
     scheduler: Optional[SchedulerSpec] = None  #: overrides serving.scheduler
     name: str = ""  #: free-form label (presets stamp theirs here)
@@ -119,6 +120,14 @@ class RunSpec:
                     f"RunSpec.compression must be a repro.compress.CompressionSpec, "
                     f"got {type(self.compression).__name__}"
                 )
+        if self.replication is not None:
+            from ..replication import ReplicationSpec  # lazy: avoid import cycle
+
+            if not isinstance(self.replication, ReplicationSpec):
+                raise TypeError(
+                    f"RunSpec.replication must be a repro.replication.ReplicationSpec, "
+                    f"got {type(self.replication).__name__}"
+                )
 
     # -- derived section views ---------------------------------------------------
 
@@ -167,6 +176,9 @@ class RunSpec:
             "compression": (
                 dataclasses.asdict(self.compression) if self.compression else None
             ),
+            "replication": (
+                dataclasses.asdict(self.replication) if self.replication else None
+            ),
             "serving": dataclasses.asdict(self.serving) if self.serving else None,
             "scheduler": (
                 dataclasses.asdict(self.scheduler) if self.scheduler else None
@@ -180,7 +192,8 @@ class RunSpec:
             raise TypeError(f"RunSpec payload must be a dict, got {type(data).__name__}")
         known = {
             "name", "n_devices", "backend", "workload", "model",
-            "cache", "resilience", "compression", "serving", "scheduler",
+            "cache", "resilience", "compression", "replication",
+            "serving", "scheduler",
         }
         unknown = set(data) - known
         if unknown:
@@ -190,6 +203,7 @@ class RunSpec:
         from ..cache import CacheConfig  # lazy: avoid import cycle
         from ..compress import CompressionSpec
         from ..faults import ResilienceSpec
+        from ..replication import ReplicationSpec
 
         model = dict(data.get("model") or {})
         serving_payload = data.get("serving")
@@ -219,6 +233,9 @@ class RunSpec:
             ),
             compression=_build_optional(
                 CompressionSpec, data.get("compression"), "compression"
+            ),
+            replication=_build_optional(
+                ReplicationSpec, data.get("replication"), "replication"
             ),
             serving=serving,
             scheduler=_build_optional(

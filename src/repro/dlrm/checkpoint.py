@@ -13,6 +13,8 @@ optimizer is supplied, keyed per table, so training resumes bit-exactly.
 from __future__ import annotations
 
 import json
+import zipfile
+from contextlib import contextmanager
 from typing import Optional
 
 import numpy as np
@@ -27,6 +29,22 @@ _FORMAT_VERSION = 1
 
 class CheckpointError(RuntimeError):
     """Incompatible or corrupt checkpoint."""
+
+
+@contextmanager
+def _wrap_corruption(path: str):
+    """Translate the raw decode errors a damaged ``.npz`` produces into
+    :class:`CheckpointError` (truncated archives surface as
+    ``zipfile.BadZipFile``, ``EOFError``, ``OSError``, or numpy/json
+    ``ValueError``\\ s depending on where the damage lands)."""
+    try:
+        yield
+    except (CheckpointError, FileNotFoundError):
+        raise
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        raise CheckpointError(
+            f"{path}: corrupt or truncated checkpoint ({exc})"
+        ) from exc
 
 
 def _header(model: DLRM) -> dict:
@@ -69,9 +87,10 @@ def load_checkpoint(
     """Restore weights (and optimizer state) into ``model`` in place.
 
     Raises :class:`CheckpointError` if the checkpoint's architecture does
-    not match the model's.
+    not match the model's, and for truncated or otherwise corrupt files
+    (instead of leaking raw ``zipfile``/numpy decode errors).
     """
-    with np.load(path) as data:
+    with _wrap_corruption(path), np.load(path) as data:
         if "__header__" not in data:
             raise CheckpointError(f"{path}: missing header — not a repro checkpoint")
         header = json.loads(bytes(data["__header__"]).decode())

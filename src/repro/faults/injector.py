@@ -98,6 +98,10 @@ class FaultInjector:
             cluster.device(ev.device).slowdown *= ev.severity
         elif ev.kind == "device_stall":
             cluster.device(ev.device).stall_until(abs_end)
+        elif ev.kind == "device_down":
+            # Permanent: marks the device dead from now on; no revert edge
+            # is ever scheduled (install() excludes it, like device_stall).
+            cluster.device(ev.device).mark_down(now)
         self.applied.append(ev)
         prof = cluster.profiler
         device_id = ev.device if ev.kind in DEVICE_KINDS else -1

@@ -25,6 +25,13 @@ Fault kinds
 ``device_stall``
     Transient freeze: kernels on the device make no progress at wave
     boundaries inside the window.  ``severity`` is ignored.
+``device_down``
+    Permanent failure: the device (and the table shards it owns) is gone
+    from ``t_start`` onward and never comes back — unlike every other
+    kind, there is no revert edge.  ``t_end`` only bounds the recorded
+    profiler span (use the plan horizon); ``severity`` is ignored.  The
+    replication layer's failure detector and failover routing key off
+    this kind.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from ..simgpu.units import ms, us
 __all__ = ["FAULT_KINDS", "LINK_KINDS", "DEVICE_KINDS", "FaultEvent", "FaultPlan"]
 
 LINK_KINDS = ("link_degrade", "link_latency", "link_down")
-DEVICE_KINDS = ("device_slowdown", "device_stall")
+DEVICE_KINDS = ("device_slowdown", "device_stall", "device_down")
 FAULT_KINDS = LINK_KINDS + DEVICE_KINDS
 
 

@@ -1,0 +1,92 @@
+"""High-availability layer: shard replication, failover, online recovery.
+
+The PGAS fused-retrieval path (and the collective baseline) assume every
+owner GPU stays reachable; the fault layer's transient windows are
+survivable by retrying, but a permanent ``device_down`` failure takes a
+device's table shards with it.  This package adds the production answer —
+k-way shard replication with failover routing and bandwidth-charged
+re-replication:
+
+* :mod:`repro.replication.spec` — the frozen :class:`ReplicationSpec`
+  (replication factor, ``spread``/``ring`` placement, failure-detector
+  cadence, recovery bandwidth share) and its deterministic per-table
+  replica placement;
+* :mod:`repro.replication.retrieval` — :class:`ReplicatedRetrieval`,
+  which fronts either base backend: a heartbeat monitor on the engine
+  clock detects ``device_down`` failures, lookup blocks of a dead
+  primary re-home to the nearest live replica on both comm paths, and a
+  background engine process re-replicates the lost shards over the real
+  interconnect, stamping ``availability.*`` counters and per-link
+  recovery bytes into traces.
+
+Importing this package registers the ``"pgas+replicated"`` and
+``"baseline+replicated"`` backends with the core registry, so
+
+>>> emb = DistributedEmbedding(cfg, n_devices=4, backend="pgas+replicated",
+...                            replication=ReplicationSpec(k=2))
+
+works exactly like the unreplicated backends (``repro`` imports it for
+you).
+"""
+
+from __future__ import annotations
+
+from ..core.retrieval import register_backend
+from .retrieval import (
+    BATCH_LOOKUPS_COUNTER,
+    DETECTION_COUNTER,
+    FAILOVER_COUNTER,
+    FAILURES_COUNTER,
+    RECOVERY_COUNTER,
+    REPROTECT_COUNTER,
+    AvailabilityLedger,
+    ReplicatedRetrieval,
+)
+from .spec import PLACEMENTS, ReplicationSpec
+
+__all__ = [
+    "AvailabilityLedger",
+    "BATCH_LOOKUPS_COUNTER",
+    "DETECTION_COUNTER",
+    "FAILOVER_COUNTER",
+    "FAILURES_COUNTER",
+    "PLACEMENTS",
+    "RECOVERY_COUNTER",
+    "REPROTECT_COUNTER",
+    "ReplicatedRetrieval",
+    "ReplicationSpec",
+    "replicated_retrieval_for",
+]
+
+
+def replicated_retrieval_for(emb, base: str) -> ReplicatedRetrieval:
+    """Build a :class:`ReplicatedRetrieval` bound to a
+    :class:`~repro.core.retrieval.DistributedEmbedding` (the registry
+    factories' shared implementation)."""
+    spec = emb.replication_config
+    if spec is not None and not isinstance(spec, ReplicationSpec):
+        raise TypeError(
+            f"DistributedEmbedding replication must be a ReplicationSpec, "
+            f"got {type(spec).__name__}"
+        )
+    return ReplicatedRetrieval(
+        emb.cluster,
+        emb.plan,
+        spec or ReplicationSpec(),
+        base=base,
+        collective_spec=emb.collective_spec,
+        pgas_spec=emb.pgas_spec,
+        sharded=emb.sharded,
+    )
+
+
+register_backend(
+    "pgas+replicated",
+    lambda emb: replicated_retrieval_for(emb, "pgas"),
+    description="PGAS retrieval with k-way shard replicas, heartbeat failover, and online re-replication",
+)
+register_backend(
+    "baseline+replicated",
+    lambda emb: replicated_retrieval_for(emb, "baseline"),
+    description="collective retrieval with k-way shard replicas, heartbeat failover, and online re-replication",
+)

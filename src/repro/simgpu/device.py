@@ -149,6 +149,9 @@ class Device:
         #: transient-stall window end: kernels make no progress at wave
         #: boundaries before this absolute time (-inf when healthy)
         self.stalled_until = float("-inf")
+        #: absolute time of a permanent ``device_down`` failure (+inf when
+        #: the device has never failed); unlike stalls this never reverts
+        self.down_since = float("inf")
 
     # -- fault state -------------------------------------------------------------
 
@@ -156,10 +159,19 @@ class Device:
         """Freeze kernel progress until absolute time ``t`` (extends only)."""
         self.stalled_until = max(self.stalled_until, t)
 
+    def mark_down(self, t: float) -> None:
+        """Record a permanent failure at absolute time ``t`` (first one wins)."""
+        self.down_since = min(self.down_since, t)
+
+    @property
+    def is_down(self) -> bool:
+        """True once the device has permanently failed (never reverts)."""
+        return self.engine.now >= self.down_since
+
     @property
     def is_degraded(self) -> bool:
         """True while any device-level fault window is active."""
-        return self.slowdown != 1.0 or self.engine.now < self.stalled_until
+        return self.slowdown != 1.0 or self.engine.now < self.stalled_until or self.is_down
 
     # -- streams ---------------------------------------------------------------
 

@@ -411,4 +411,49 @@ def compute_metrics(
                 "RMS of measured decode error across functional batches",
             )
 
+    # Availability (repro.replication): counters only exist on runs where
+    # the heartbeat detector declared a failure, so healthy reports carry
+    # no availability metrics at all.  Names are hardcoded, as above.
+    failures = profiler.counters.get("availability.failures")
+    if failures is not None:
+        def total_of(name: str) -> float:
+            counter = profiler.counters.get(name)
+            return float(counter.total) if counter is not None else 0.0
+
+        failover = total_of("availability.failover_lookups")
+        unavailable = total_of("availability.unavailable_lookups")
+        impaired_lookups = total_of("availability.batch_lookups")
+        reg.record(
+            "availability.failures", float(failures.total), "failures",
+            "devices declared permanently failed by the heartbeat detector",
+        )
+        reg.record(
+            "availability.failover_lookups", failover, "lookups",
+            "lookups rerouted from a failed primary to a live replica",
+        )
+        reg.record(
+            "availability.unavailable_fraction",
+            unavailable / impaired_lookups if impaired_lookups > 0 else 0.0,
+            "fraction",
+            "lookups with no live replica / lookups of impaired batches",
+        )
+        reg.record(
+            "availability.recovery_bytes",
+            total_of("availability.recovery_bytes"), "bytes",
+            "re-replication bytes streamed over the interconnect",
+        )
+        reg.record(
+            "availability.detection_ns",
+            total_of("availability.detection_ns"), "ns",
+            "summed down-edge -> declared-failed latency",
+        )
+        reprotect = profiler.counters.get("availability.time_to_reprotect_ns")
+        if reprotect is not None:
+            reg.record(
+                "availability.time_to_reprotect_ns",
+                max((delta for _, delta in reprotect.events()), default=0.0),
+                "ns",
+                "slowest down-edge -> replication-factor-restored latency",
+            )
+
     return reg

@@ -42,8 +42,9 @@ __all__ = [
 ]
 
 #: bump on any backwards-incompatible change to the report layout
-#: (2: added the ``compression`` counter section)
-SCHEMA_VERSION = 2
+#: (2: added the ``compression`` counter section;
+#:  3: added the ``availability`` counter section)
+SCHEMA_VERSION = 3
 
 #: level counter stamped by :class:`repro.core.serving.InferenceServer`
 QUEUE_DEPTH_COUNTER = "serving.queue_depth"
@@ -99,6 +100,7 @@ class RunReport:
     series: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
     compression: Dict[str, float] = field(default_factory=dict)
+    availability: Dict[str, float] = field(default_factory=dict)
     serving: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -127,6 +129,7 @@ class RunReport:
                 "series": self.series,
                 "cache": self.cache,
                 "compression": self.compression,
+                "availability": self.availability,
                 "serving": self.serving,
                 "faults": self.faults,
                 "meta": self.meta,
@@ -152,6 +155,7 @@ class RunReport:
             series=dict(data.get("series", {})),
             cache=dict(data.get("cache", {})),
             compression=dict(data.get("compression", {})),
+            availability=dict(data.get("availability", {})),
             serving=dict(data.get("serving", {})),
             faults=dict(data.get("faults", {})),
             meta=dict(data.get("meta", {})),
@@ -175,6 +179,7 @@ _SCHEMA: Dict[str, tuple] = {
     "series": (False, (dict,)),
     "cache": (False, (dict,)),
     "compression": (False, (dict,)),
+    "availability": (False, (dict,)),
     "serving": (False, (dict,)),
     "faults": (False, (dict,)),
     "meta": (False, (dict,)),
@@ -213,7 +218,7 @@ def validate_report(data: Any) -> None:
             payload["value"], (int, float)
         ):
             raise ReportValidationError(f"metric {name!r} value must be a number")
-    for key in ("timing", "cache", "compression"):
+    for key in ("timing", "cache", "compression", "availability"):
         for name, value in data.get(key, {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ReportValidationError(f"{key}[{name!r}] must be a number")
@@ -310,6 +315,7 @@ def collect_run_report(
         series=series,
         cache=_counter_totals(profiler, "cache."),
         compression=_counter_totals(profiler, "compress."),
+        availability=_counter_totals(profiler, "availability."),
         serving=to_dict(serving),
         faults=faults,
         meta=dict(meta or {}),

@@ -116,3 +116,27 @@ class TestValidation:
         model, _ = make_model()
         with pytest.raises(CheckpointError, match="header"):
             load_checkpoint(model, path)
+
+
+class TestCorruption:
+    def test_truncated_file_raises_checkpoint_error(self, tmp_path):
+        model, _ = make_model(seed=7)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        other, _ = make_model(seed=8)
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            load_checkpoint(other, path)
+
+    def test_garbage_bytes_raise_checkpoint_error(self, tmp_path):
+        path = str(tmp_path / "garbage.npz")
+        open(path, "wb").write(b"this is not a zip archive at all")
+        model, _ = make_model()
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            load_checkpoint(model, path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        model, _ = make_model()
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(model, str(tmp_path / "absent.npz"))

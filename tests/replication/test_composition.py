@@ -1,0 +1,111 @@
+"""Backend-wrapper composition contract (registry + RunSpec validation),
+RunSpec replication round-trip, and the RunReport availability section."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.retrieval import (
+    DistributedEmbedding,
+    available_backends,
+    backend_spec,
+    register_backend,
+)
+from repro.core.runspec import RunSpec, preset_runspec
+from repro.replication import ReplicationSpec
+from repro.telemetry.report import RunReport
+
+
+class TestCompositionContract:
+    def test_registered_composed_backends_resolve(self):
+        for name in ("pgas+replicated", "baseline+replicated",
+                     "pgas+compress", "pgas+resilient", "pgas+cache"):
+            spec = backend_spec(name)
+            assert str(spec.name) == name
+
+    def test_replicated_backends_listed_with_flag(self):
+        infos = {str(i): i for i in available_backends()}
+        assert infos["pgas+replicated"].replicated
+        assert infos["baseline+replicated"].replicated
+        assert not infos["pgas"].replicated
+
+    @pytest.mark.parametrize("name", [
+        "pgas+compress+replicated",
+        "pgas+replicated+resilient",
+        "baseline+cache+compress",
+    ])
+    def test_unregistered_stack_names_the_combination(self, name):
+        with pytest.raises(ValueError) as err:
+            backend_spec(name)
+        msg = str(err.value)
+        assert "composition order" in msg
+        for feature in name.split("+")[1:]:
+            assert feature in msg
+
+    def test_unknown_single_feature_keeps_plain_error(self):
+        with pytest.raises(ValueError) as err:
+            backend_spec("pgas+nonsense")
+        assert "composition order" not in str(err.value)
+
+    @pytest.mark.parametrize("name", ["+cache", "pgas+", "pgas++cache"])
+    def test_malformed_names_rejected_at_registration(self, name):
+        with pytest.raises(ValueError, match="malformed backend name"):
+            register_backend(name, description="x", factory=lambda emb: None)
+
+    def test_runspec_validation_rejects_unsupported_stack(self):
+        with pytest.raises(ValueError, match="composition order"):
+            preset_runspec("tiny", 2, backend="pgas+compress+replicated")
+
+
+class TestRunSpecReplication:
+    def test_round_trip_bit_exact(self):
+        spec = preset_runspec(
+            "tiny", 2, backend="pgas+replicated",
+            replication=ReplicationSpec(k=2, placement="ring",
+                                        recovery_bandwidth_share=0.5),
+        )
+        clone = RunSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.to_json() == spec.to_json()
+        assert isinstance(clone.replication, ReplicationSpec)
+
+    def test_none_replication_round_trips(self):
+        spec = preset_runspec("tiny", 2)
+        assert RunSpec.from_json(spec.to_json()).replication is None
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError, match="ReplicationSpec"):
+            preset_runspec("tiny", 2, replication={"k": 2})
+
+    def test_from_spec_threads_replication(self):
+        spec = preset_runspec(
+            "tiny", 2, backend="pgas+replicated",
+            replication=ReplicationSpec(k=2),
+        )
+        emb = DistributedEmbedding.from_spec(spec)
+        assert emb.replication_config == spec.replication
+        adapter = emb.backend_adapter("pgas+replicated")
+        assert adapter.spec == spec.replication
+
+
+class TestReportAvailabilitySection:
+    def test_availability_round_trips(self):
+        report = RunReport(
+            backend="pgas+replicated", n_devices=2,
+            metrics={"m": {"value": 1.0, "unit": "x"}},
+            availability={"availability.failures": 1.0,
+                          "availability.recovery_bytes": 4096.0},
+        )
+        clone = RunReport.from_json(report.to_json())
+        assert clone.availability == report.availability
+        assert clone.to_json() == report.to_json()
+
+    def test_non_numeric_availability_rejected(self):
+        report = RunReport(
+            backend="pgas", n_devices=2,
+            metrics={}, availability={"availability.failures": "one"},
+        )
+        from repro.telemetry.report import ReportValidationError, validate_report
+
+        with pytest.raises(ReportValidationError, match="availability"):
+            validate_report(report.as_dict())

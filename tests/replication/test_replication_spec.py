@@ -1,0 +1,71 @@
+"""ReplicationSpec: validation, replica placement, serialisation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.replication import ReplicationSpec
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        spec = ReplicationSpec()
+        assert spec.k == 1
+        assert spec.placement == "spread"
+
+    @pytest.mark.parametrize("kw,msg", [
+        (dict(k=0), "k"),
+        (dict(placement="mirror"), "placement"),
+        (dict(recovery_bandwidth_share=0.0), "share"),
+        (dict(recovery_bandwidth_share=1.5), "share"),
+        (dict(heartbeat_interval_ns=0.0), "interval"),
+        (dict(miss_threshold=0), "threshold"),
+        (dict(recovery_chunk_bytes=0), "chunk"),
+    ])
+    def test_bad_values_rejected(self, kw, msg):
+        with pytest.raises(ValueError, match=msg):
+            ReplicationSpec(**kw)
+
+    def test_detection_latency_bound(self):
+        spec = ReplicationSpec(heartbeat_interval_ns=100.0, miss_threshold=3)
+        assert spec.detection_latency_bound_ns == 300.0
+
+
+class TestPlacement:
+    @pytest.mark.parametrize("placement", ["spread", "ring"])
+    def test_primary_first_and_devices_distinct(self, placement):
+        spec = ReplicationSpec(k=3, placement=placement)
+        for owner in range(4):
+            for f in range(8):
+                replicas = spec.replicas_for(owner, f, 4)
+                assert replicas[0] == owner
+                assert len(replicas) == 3
+                assert len(set(replicas)) == 3
+                assert all(0 <= r < 4 for r in replicas)
+
+    def test_ring_is_successive_neighbours(self):
+        spec = ReplicationSpec(k=2, placement="ring")
+        assert spec.replicas_for(3, 0, 4) == (3, 0)
+        assert spec.replicas_for(1, 7, 4) == (1, 2)
+
+    def test_spread_varies_by_table(self):
+        spec = ReplicationSpec(k=2, placement="spread")
+        partners = {spec.replicas_for(0, f, 4)[1] for f in range(8)}
+        assert len(partners) > 1  # not everything lands on one neighbour
+
+    def test_k_exceeding_devices_raises(self):
+        with pytest.raises(ValueError, match="k"):
+            ReplicationSpec(k=3).replicas_for(0, 0, 2)
+
+
+class TestSerialisation:
+    def test_asdict_round_trip_bit_exact(self):
+        spec = ReplicationSpec(k=2, placement="ring",
+                               recovery_bandwidth_share=0.5,
+                               heartbeat_interval_ns=123.0,
+                               miss_threshold=4,
+                               recovery_chunk_bytes=1024)
+        payload = dataclasses.asdict(spec)
+        assert ReplicationSpec(**payload) == spec
