@@ -28,6 +28,9 @@ Packages
 :mod:`repro.telemetry`
     Derived gauges, paper-facing metrics (overlap, burstiness), and the
     versioned :class:`~repro.telemetry.RunReport` JSON artifact.
+:mod:`repro.obs`
+    Request-level tracing (trace contexts, Perfetto flows),
+    critical-path analysis, and the perf regression gate.
 
 Quickstart
 ----------
@@ -95,6 +98,8 @@ from .dlrm import (
     SyntheticDataGenerator,
     WorkloadConfig,
 )
+from . import obs
+from .obs import TraceSpec
 from .simgpu import Cluster, DeviceSpec, dgx_v100
 from .telemetry import MetricsRegistry, RunReport, collect_run_report
 
@@ -139,6 +144,7 @@ __all__ = [
     "SparseBatch",
     "SyntheticDataGenerator",
     "TableWiseSharding",
+    "TraceSpec",
     "WorkloadConfig",
     "__version__",
     "available_backends",
@@ -151,6 +157,7 @@ __all__ = [
     "dgx_v100",
     "dlrm",
     "faults",
+    "obs",
     "replication",
     "simgpu",
     "telemetry",

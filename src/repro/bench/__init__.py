@@ -18,6 +18,12 @@ from .chaossweep import (
     run_chaos_sweep,
     validate_chaossweep_json,
 )
+from .critpath import (
+    CritPathPoint,
+    CritPathResult,
+    run_critpath,
+    validate_critpath_json,
+)
 from .faultsweep import FaultSweepPoint, FaultSweepResult, run_fault_sweep
 from .commvolume import CommVolumeTrace, UNIT_BYTES, trace_comm_volume
 from .reporting import (
@@ -73,6 +79,10 @@ __all__ = [
     "ChaosSweepResult",
     "run_chaos_sweep",
     "validate_chaossweep_json",
+    "CritPathPoint",
+    "CritPathResult",
+    "run_critpath",
+    "validate_critpath_json",
     "FaultSweepPoint",
     "FaultSweepResult",
     "run_fault_sweep",

@@ -40,6 +40,7 @@ from ..simgpu.units import to_ms, us
 from .reporting import format_table
 from .runner import scaled_config
 from .telemetry import preset_workload
+from .validate import check_artifact, check_point
 
 __all__ = [
     "ChaosSweepPoint",
@@ -175,24 +176,15 @@ def validate_chaossweep_json(data: Any) -> None:
     a replica existed to recover to, and — for every (backend, failure
     count) pair where both ran — ``k = 2`` availability ≥ ``k = 1``.
     """
-    if not isinstance(data, dict):
-        raise ValueError("availability artifact must be a dict")
-    for key in ("schema_version", "preset", "n_devices", "n_batches", "points"):
-        if key not in data:
-            raise ValueError(f"availability artifact missing key {key!r}")
-    if data["schema_version"] != 1:
-        raise ValueError(
-            f"unsupported availability artifact schema_version {data['schema_version']}"
-        )
-    if not isinstance(data["points"], list) or not data["points"]:
-        raise ValueError("availability artifact must carry >= 1 point")
+    points = check_artifact(
+        data,
+        kind="availability",
+        schema_version=1,
+        required_keys=("schema_version", "preset", "n_devices", "n_batches"),
+    )
     groups: Dict[tuple, Dict[int, Dict[str, Any]]] = {}
-    for i, point in enumerate(data["points"]):
-        if not isinstance(point, dict):
-            raise ValueError(f"point {i} must be a dict")
-        for key in _POINT_KEYS:
-            if key not in point:
-                raise ValueError(f"point {i} missing key {key!r}")
+    for i, point in enumerate(points):
+        check_point(point, i, _POINT_KEYS)
         label = f"point {i} ({point['backend']}, k={point['k']}, " \
                 f"failures={point['n_failures']})"
         if not (0.0 <= point["availability"] <= 1.0):

@@ -38,6 +38,7 @@ from ..simgpu.units import to_ms, us
 from .reporting import format_table
 from .runner import scaled_config
 from .telemetry import preset_workload
+from .validate import check_artifact, check_point
 
 __all__ = [
     "CompSweepPoint",
@@ -173,24 +174,15 @@ def validate_compsweep_json(data: Any) -> None:
     batch) — ``int8`` on the wire strictly under ``fp32``, with the
     baseline's modelled comm time shrinking accordingly.
     """
-    if not isinstance(data, dict):
-        raise ValueError("compression artifact must be a dict")
-    for key in ("schema_version", "preset", "n_devices", "n_batches", "points"):
-        if key not in data:
-            raise ValueError(f"compression artifact missing key {key!r}")
-    if data["schema_version"] != 1:
-        raise ValueError(
-            f"unsupported compression artifact schema_version {data['schema_version']}"
-        )
-    if not isinstance(data["points"], list) or not data["points"]:
-        raise ValueError("compression artifact must carry >= 1 point")
+    points = check_artifact(
+        data,
+        kind="compression",
+        schema_version=1,
+        required_keys=("schema_version", "preset", "n_devices", "n_batches"),
+    )
     groups: Dict[tuple, Dict[str, Dict[str, Any]]] = {}
-    for i, point in enumerate(data["points"]):
-        if not isinstance(point, dict):
-            raise ValueError(f"point {i} must be a dict")
-        for key in _POINT_KEYS:
-            if key not in point:
-                raise ValueError(f"point {i} missing key {key!r}")
+    for i, point in enumerate(points):
+        check_point(point, i, _POINT_KEYS)
         if not point["within_bound"]:
             raise ValueError(
                 f"point {i} ({point['codec']}, {point['backend']}): "

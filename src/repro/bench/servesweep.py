@@ -24,6 +24,7 @@ from ..core.runspec import RunSpec, preset_runspec
 from ..core.serving import InferenceServer, SchedulerSpec, ServingResult, ServingSpec
 from ..simgpu.units import ms
 from .reporting import format_table
+from .validate import check_artifact, check_point
 
 __all__ = [
     "ServeSweepPoint",
@@ -154,26 +155,19 @@ class ServeSweepResult:
 
 def validate_servesweep_json(data: Any) -> None:
     """Validate a ``BENCH_serving.json`` payload (raises ``ValueError``)."""
-    if not isinstance(data, dict):
-        raise ValueError("serving artifact must be a dict")
-    for key in (
-        "schema_version", "preset", "n_devices", "n_requests",
-        "max_batch", "batch_window_ns", "points",
-    ):
-        if key not in data:
-            raise ValueError(f"serving artifact missing key {key!r}")
-    if data["schema_version"] != 1:
-        raise ValueError(
-            f"unsupported serving artifact schema_version {data['schema_version']}"
+    points = check_artifact(
+        data,
+        kind="serving",
+        schema_version=1,
+        required_keys=(
+            "schema_version", "preset", "n_devices", "n_requests",
+            "max_batch", "batch_window_ns",
+        ),
+    )
+    for i, point in enumerate(points):
+        check_point(
+            point, i, ("backend", "arrival_qps", "max_in_flight", "policy", "result")
         )
-    if not isinstance(data["points"], list) or not data["points"]:
-        raise ValueError("serving artifact must carry >= 1 point")
-    for i, point in enumerate(data["points"]):
-        if not isinstance(point, dict):
-            raise ValueError(f"point {i} must be a dict")
-        for key in ("backend", "arrival_qps", "max_in_flight", "policy", "result"):
-            if key not in point:
-                raise ValueError(f"point {i} missing key {key!r}")
         result = point["result"]
         if not isinstance(result, dict):
             raise ValueError(f"point {i} result must be a dict")

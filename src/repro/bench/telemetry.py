@@ -22,6 +22,7 @@ from ..simgpu.units import to_ms
 from ..telemetry import RunReport, validate_report
 from .reporting import format_table
 from .runner import scaled_config
+from .validate import check_artifact
 
 __all__ = [
     "METRIC_ROWS",
@@ -108,18 +109,17 @@ def validate_metrics_json(data: Any) -> None:
     """Validate a ``BENCH_metrics.json`` payload (raises on violation)."""
     from ..telemetry.report import ReportValidationError
 
-    if not isinstance(data, dict):
-        raise ReportValidationError("metrics artifact must be a dict")
-    for key in ("schema_version", "preset", "n_devices", "n_batches", "reports"):
-        if key not in data:
-            raise ReportValidationError(f"metrics artifact missing key {key!r}")
-    if data["schema_version"] != 1:
-        raise ReportValidationError(
-            f"unsupported metrics artifact schema_version {data['schema_version']}"
-        )
-    if not isinstance(data["reports"], dict) or not data["reports"]:
-        raise ReportValidationError("metrics artifact must carry >= 1 report")
-    for backend, report in data["reports"].items():
+    reports = check_artifact(
+        data,
+        kind="metrics",
+        schema_version=1,
+        required_keys=("schema_version", "preset", "n_devices", "n_batches"),
+        collection="reports",
+        noun="report",
+        error=ReportValidationError,
+        collection_type=dict,
+    )
+    for backend, report in reports.items():
         try:
             validate_report(report)
         except ReportValidationError as exc:

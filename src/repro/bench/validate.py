@@ -1,0 +1,71 @@
+"""Shared shape checks for the ``BENCH_*.json`` artifacts.
+
+Every bench artifact opens the same way — a dict with a pinned
+``schema_version``, a handful of run-level keys, and a non-empty
+collection of measurement points — and every per-bench validator used to
+re-implement that prologue by hand.  :func:`check_artifact` and
+:func:`check_point` centralise it: the per-bench validators keep only the
+invariants that make their artifact *theirs* (availability conservation,
+codec error bounds, critical-path = wall, ...), while the boilerplate and
+its exact error messages live here once.
+
+The message templates are load-bearing: CI greps for them and the bench
+tests pin them, so the helpers reproduce the historical strings
+verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Type
+
+__all__ = ["check_artifact", "check_point"]
+
+
+def check_artifact(
+    data: Any,
+    *,
+    kind: str,
+    schema_version: int,
+    required_keys: Sequence[str],
+    collection: str = "points",
+    noun: str = "point",
+    error: Type[Exception] = ValueError,
+    collection_type: type = list,
+) -> Any:
+    """Check an artifact's common envelope; return its item collection.
+
+    Raises ``error`` when ``data`` is not a dict, any of ``required_keys``
+    (plus ``collection``) is missing, the ``schema_version`` does not
+    match, or the collection is not a non-empty ``collection_type``.  The
+    returned value is ``data[collection]`` so callers can iterate it
+    directly.
+    """
+    if not isinstance(data, dict):
+        raise error(f"{kind} artifact must be a dict")
+    for key in (*required_keys, collection):
+        if key not in data:
+            raise error(f"{kind} artifact missing key {key!r}")
+    if data["schema_version"] != schema_version:
+        raise error(
+            f"unsupported {kind} artifact schema_version {data['schema_version']}"
+        )
+    items = data[collection]
+    if not isinstance(items, collection_type) or not items:
+        raise error(f"{kind} artifact must carry >= 1 {noun}")
+    return items
+
+
+def check_point(
+    point: Any,
+    index: int,
+    keys: Iterable[str],
+    *,
+    error: Type[Exception] = ValueError,
+    label: str = "point",
+) -> None:
+    """Check one collection entry: a dict carrying every key in ``keys``."""
+    if not isinstance(point, dict):
+        raise error(f"{label} {index} must be a dict")
+    for key in keys:
+        if key not in point:
+            raise error(f"{label} {index} missing key {key!r}")

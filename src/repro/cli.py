@@ -11,6 +11,8 @@ Commands
 ``servesweep``  continuous-batching goodput vs in-flight depth K + BENCH_serving.json
 ``compsweep``   codec x backend wire/time/error grid + BENCH_compression.json
 ``chaossweep``  availability/goodput vs replication k x failures + BENCH_availability.json
+``critpath``    traced critical-path attribution + BENCH_critpath.json (and
+                an optional regression gate against a committed baseline)
 ``backends``    list the registered backends with their capability flags
 ``plan``        capacity-aware table placement for a Criteo-like table set
 ``trace``       run one batch and write a chrome://tracing JSON timeline
@@ -184,6 +186,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="workload seed override (default: preset's)")
     ch.add_argument("--output", default="BENCH_availability.json",
                     help="machine-readable artifact path ('' to skip)")
+
+    cr = sub.add_parser("critpath",
+                        help="traced critical-path attribution + BENCH_critpath.json")
+    cr.add_argument("--preset", choices=PRESETS, default="tiny",
+                    help="workload preset (resolved via preset_runspec)")
+    cr.add_argument("--gpus", type=int, default=2, help="simulated GPU count")
+    cr.add_argument("--backends", nargs="+", default=["pgas", "baseline"],
+                    help="backends to trace")
+    cr.add_argument("--batches", type=int, default=2, help="batches per backend")
+    cr.add_argument("--scale", type=float, default=1.0,
+                    help="batch-size scale factor (1.0 = preset size)")
+    cr.add_argument("--seed", type=int, default=None,
+                    help="workload seed override (default: preset's)")
+    cr.add_argument("--output", default="BENCH_critpath.json",
+                    help="machine-readable artifact path ('' to skip)")
+    cr.add_argument("--gate", default=None, metavar="BASELINE_JSON",
+                    help="compare against this committed artifact; exit 1 on breach")
+    cr.add_argument("--gate-rel", type=float, default=0.05,
+                    help="relative tolerance for the regression gate")
+    cr.add_argument("--gate-abs-ns", type=float, default=1000.0,
+                    help="absolute tolerance floor for the regression gate (ns)")
 
     sub.add_parser("backends",
                    help="list registered backends and their capability flags")
@@ -426,6 +449,42 @@ def _cmd_chaossweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_critpath(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.critpath import run_critpath, validate_critpath_json
+
+    result = run_critpath(
+        args.preset,
+        n_devices=args.gpus,
+        backends=args.backends,
+        n_batches=args.batches,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(result.render())
+    if args.output:
+        result.write_json(args.output)
+        # Self-check: the artifact we just wrote must round-trip the schema.
+        with open(args.output) as fh:
+            validate_critpath_json(json.load(fh))
+        print(f"wrote {args.output} (schema-valid, {len(result.points)} points)")
+    if args.gate:
+        from .obs.regress import Tolerance, compare_critpath
+
+        with open(args.gate) as fh:
+            baseline = json.load(fh)
+        gate = compare_critpath(
+            baseline,
+            result.as_dict(),
+            tolerance=Tolerance(rel=args.gate_rel, abs_ns=args.gate_abs_ns),
+        )
+        print(gate.render())
+        if not gate.passed:
+            return 1
+    return 0
+
+
 def _cmd_backends(args: argparse.Namespace) -> int:
     from .bench.reporting import format_table
 
@@ -442,6 +501,8 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             flags.append("replication")
         if info.requires_indices:
             flags.append("indices")
+        if info.traceable:
+            flags.append("traceable")
         if not info.functional:
             flags.append("timed-only")
         rows.append([str(info), "+".join(flags), info.description])
@@ -511,6 +572,7 @@ _COMMANDS = {
     "servesweep": _cmd_servesweep,
     "compsweep": _cmd_compsweep,
     "chaossweep": _cmd_chaossweep,
+    "critpath": _cmd_critpath,
     "backends": _cmd_backends,
     "plan": _cmd_plan,
     "trace": _cmd_trace,

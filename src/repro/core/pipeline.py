@@ -31,9 +31,11 @@ from ..comm.pgas import PGASSpec
 from ..dlrm.batch import SparseBatch
 from ..dlrm.data import WorkloadConfig
 from ..dlrm.interaction import interaction_output_dim
+from ..obs import traced, trace_scope
 from ..simgpu.cluster import Cluster, dgx_v100
 from ..simgpu.engine import ProcessGenerator
 from ..simgpu.kernel import KernelSpec, execute_kernel
+from ..simgpu.profiler import TraceRef
 from ..simgpu.units import gbps
 from .baseline import BaselineRetrieval, PhaseTiming
 from .calibration import INDEX_BYTES, OFFSET_BYTES
@@ -144,6 +146,7 @@ class DLRMInferencePipeline:
         staging_chunks: int = 8,
         cache: Optional[object] = None,
         resilience: Optional[object] = None,
+        obs: Optional[object] = None,
     ):
         """``overlap_input_staging`` enables the paper's §V input-pipelining
         proposal: instead of waiting for the whole CPU-partitioned input to
@@ -155,8 +158,15 @@ class DLRMInferencePipeline:
         ``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
         ``"+cache"`` backends; ``resilience`` is a
         :class:`repro.faults.ResilienceSpec` consumed by the
-        ``"+resilient"`` backends."""
+        ``"+resilient"`` backends; ``obs`` is a
+        :class:`repro.obs.TraceSpec` enabling per-batch trace context
+        (None or disabled keeps runs bit-identical to untraced ones)."""
         backend_spec(backend)  # unknown names raise here
+        if obs is not None:
+            from ..obs import TraceSpec
+
+            if not isinstance(obs, TraceSpec):
+                raise TypeError(f"obs must be a repro.obs.TraceSpec, got {type(obs).__name__}")
         if h2d_bandwidth <= 0:
             raise ValueError("h2d_bandwidth must be positive")
         if staging_chunks <= 0:
@@ -176,6 +186,9 @@ class DLRMInferencePipeline:
         self.pgas_spec = pgas_spec
         self.cache_config = cache
         self.resilience_config = resilience
+        self.obs_config = obs
+        # Monotone batch counter for trace refs (one per traced batch).
+        self._trace_seq = 0
         self._baseline = BaselineRetrieval(self.cluster, collective_spec)
         self._pgas = PGASFusedRetrieval(self.cluster, pgas_spec)
         self._cached: Dict[str, object] = {}
@@ -193,6 +206,7 @@ class DLRMInferencePipeline:
             cluster=cluster,
             cache=spec.cache,
             resilience=spec.resilience,
+            obs=spec.obs,
         )
         kwargs.update(overrides)
         return cls(spec.pipeline_config(), spec.n_devices, **kwargs)
@@ -317,6 +331,15 @@ class DLRMInferencePipeline:
 
     # -- running ----------------------------------------------------------------
 
+    def _next_trace_ref(self) -> Optional[TraceRef]:
+        """The next batch's trace ref, or None when tracing is off."""
+        obs = self.obs_config
+        if obs is None or not obs.enabled:
+            return None
+        ref = TraceRef(obs.trace_id, self._trace_seq)
+        self._trace_seq += 1
+        return ref
+
     def _plan_emb(
         self,
         lengths_by_feature: Optional[Mapping[str, np.ndarray]],
@@ -360,9 +383,16 @@ class DLRMInferencePipeline:
         be = backend or self.backend
         workloads, cplan = self._plan_emb(lengths_by_feature, be, batch)
         timing = PipelineTiming(batches=1)
-        self.cluster.run(
-            lambda cl: self._process(cl, workloads, timing, be, cached_plan=cplan, batch=batch)
-        )
+        ref = self._next_trace_ref()
+        # The whole synchronous run is one batch: scoping the trace ref
+        # around it attributes every span the engine records to this batch.
+        with trace_scope(self.cluster.profiler if ref is not None else None, ref):
+            self.cluster.run(
+                lambda cl: self._process(
+                    cl, workloads, timing, be,
+                    cached_plan=cplan, batch=batch, trace_ref=ref,
+                )
+            )
         return timing
 
     def run_batches(self, lengths_iter, backend: Optional[BackendName] = None) -> PipelineTiming:
@@ -384,6 +414,7 @@ class DLRMInferencePipeline:
         *,
         batch: Optional[SparseBatch] = None,
         stream_suffix: str = "",
+        trace: Optional[TraceRef] = None,
     ) -> ProcessGenerator:
         """Process generator for one batch — composable into larger host
         programs (the serving simulator interleaves these with request
@@ -393,14 +424,23 @@ class DLRMInferencePipeline:
         ``"dense"``, ``"default"`` each suffixed) so the continuous-batching
         scheduler can keep several batches in flight without serialising
         them on shared FIFO queues; the default empty suffix reproduces
-        single-batch behaviour exactly."""
+        single-batch behaviour exactly.
+
+        ``trace`` attributes the batch's spans to a trace context even when
+        several batches interleave on the engine: the returned generator is
+        wrapped so its frames (and the EMB/dense sub-processes it spawns)
+        run under the ref, while engine work of *other* batches does not."""
         be = backend or self.backend
         workloads, cplan = self._plan_emb(lengths_by_feature, be, batch)
         timing.batches = 1
-        return self._process(
+        gen = self._process(
             self.cluster, workloads, timing, be,
             cached_plan=cplan, batch=batch, stream_suffix=stream_suffix,
+            trace_ref=trace,
         )
+        if trace is None:
+            return gen
+        return traced(gen, self.cluster.profiler, trace)
 
     def run_batches_pipelined(
         self, lengths_iter, backend: Optional[BackendName] = None
@@ -473,8 +513,10 @@ class DLRMInferencePipeline:
         cached_plan=None,
         batch: Optional[SparseBatch] = None,
         stream_suffix: str = "",
+        trace_ref: Optional[TraceRef] = None,
     ) -> ProcessGenerator:
         engine = cluster.engine
+        prof = cluster.profiler
         t0 = engine.now
 
         # ---- stage 1: input staging over the host link ------------------------
@@ -502,6 +544,9 @@ class DLRMInferencePipeline:
         else:
             yield engine.all_of([op.done for op in copy_ops])
         t1 = engine.now
+        if trace_ref is not None:
+            with trace_scope(prof, trace_ref):
+                prof.record_span("input_copy", "h2d", -1, t0, t1)
 
         # ---- stage 2: dense MLP ∥ distributed EMB ------------------------------
         def dense_path() -> ProcessGenerator:
@@ -516,7 +561,7 @@ class DLRMInferencePipeline:
 
         emb_timing = timing.emb
         emb_timing.batches = 1
-        dense_proc = engine.process(dense_path(), name="dense_path")
+        dense_gen = dense_path()
         if cached_plan is not None:
             emb_gen = self._cached_retrieval(backend).batch_process(
                 cluster, cached_plan, emb_timing, stream_suffix=stream_suffix
@@ -531,6 +576,14 @@ class DLRMInferencePipeline:
             emb_gen = retrieval.batch_process(
                 cluster, workloads, emb_timing, stream_suffix=stream_suffix
             )
+        if trace_ref is not None:
+            # The EMB and dense paths run as sibling engine processes, so
+            # the context must ride into their frames explicitly — this is
+            # what threads the ref through every retrieval backend's spans
+            # even when several traced batches interleave.
+            dense_gen = traced(dense_gen, prof, trace_ref)
+            emb_gen = traced(emb_gen, prof, trace_ref)
+        dense_proc = engine.process(dense_gen, name="dense_path")
         emb_proc = engine.process(emb_gen, name="emb_path")
         # Compute may overlap the tail of a pipelined copy, but the batch is
         # not done until every input chunk has landed.
@@ -539,6 +592,9 @@ class DLRMInferencePipeline:
         dense_ns = dense_proc.value - t1
         timing.dense_mlp_ns = dense_ns
         timing.overlap_saved_ns = dense_ns + emb_timing.total_ns - (t2 - t1)
+        if trace_ref is not None:
+            with trace_scope(prof, trace_ref):
+                prof.record_span("dense_mlp", "dense", -1, t1, dense_proc.value)
 
         # ---- stage 3: interaction + top MLP ------------------------------------
         ops = []
@@ -552,6 +608,9 @@ class DLRMInferencePipeline:
         yield engine.all_of([op.done for op in ops])
         yield engine.timeout(cluster.devices[0].spec.sync_overhead_ns)
         t3 = engine.now
+        if trace_ref is not None:
+            with trace_scope(prof, trace_ref):
+                prof.record_span("interaction_top", "top", -1, t2, t3)
 
         timing.input_copy_ns = t1 - t0
         timing.interaction_top_ns = t3 - t2

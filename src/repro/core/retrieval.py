@@ -69,6 +69,7 @@ Example
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -166,6 +167,7 @@ class BackendSpec:
     requires_indices: bool = False
     description: str = ""
     functional: bool = True  #: supports the materialised numpy forward
+    traceable: bool = True  #: spans carry trace refs under an active TraceSpec
 
 
 class BackendInfo(str):
@@ -177,13 +179,14 @@ class BackendInfo(str):
     introspection (``repro backends``, docs, capability checks).
     """
 
-    __slots__ = ("description", "requires_indices", "functional")
+    __slots__ = ("description", "requires_indices", "functional", "traceable")
 
     def __new__(cls, spec: BackendSpec) -> "BackendInfo":
         info = super().__new__(cls, spec.name)
         info.description = spec.description
         info.requires_indices = spec.requires_indices
         info.functional = spec.functional
+        info.traceable = spec.traceable
         return info
 
     @property
@@ -225,6 +228,7 @@ def register_backend(
     requires_indices: bool = False,
     description: str = "",
     functional: bool = True,
+    traceable: bool = True,
     overwrite: bool = False,
 ) -> BackendSpec:
     """Register a retrieval backend under ``name``.
@@ -254,6 +258,7 @@ def register_backend(
         requires_indices=requires_indices,
         description=description,
         functional=functional,
+        traceable=traceable,
     )
     _BACKENDS[name] = spec
     return spec
@@ -385,6 +390,7 @@ class DistributedEmbedding:
         resilience: Optional[object] = None,
         compression: Optional[object] = None,
         replication: Optional[object] = None,
+        obs: Optional[object] = None,
         rng: Optional[np.random.Generator] = None,
     ):
         """``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
@@ -394,8 +400,16 @@ class DistributedEmbedding:
         :class:`repro.compress.CompressionSpec` consumed by the
         ``"+compress"`` backends; ``replication`` is a
         :class:`repro.replication.ReplicationSpec` consumed by the
-        ``"+replicated"`` backends (each ignored by the other backends)."""
+        ``"+replicated"`` backends (each ignored by the other backends);
+        ``obs`` is a :class:`repro.obs.TraceSpec` enabling trace-context
+        propagation (None or ``enabled=False`` keeps every backend
+        bit-identical to an untraced run)."""
         backend_spec(backend)  # unknown names raise here
+        if obs is not None:
+            from ..obs import TraceSpec
+
+            if not isinstance(obs, TraceSpec):
+                raise TypeError(f"obs must be a repro.obs.TraceSpec, got {type(obs).__name__}")
         if isinstance(tables, WorkloadConfig):
             table_configs = tables.table_configs()
         else:
@@ -414,6 +428,9 @@ class DistributedEmbedding:
         self.resilience_config = resilience
         self.compression_config = compression
         self.replication_config = replication
+        self.obs_config = obs
+        # Monotone batch counter for trace refs (one per traced forward).
+        self._trace_seq = 0
 
         # Register weight storage with the per-device memory accountants.
         self._weight_buffers = []
@@ -449,6 +466,7 @@ class DistributedEmbedding:
             resilience=spec.resilience,
             compression=spec.compression,
             replication=spec.replication,
+            obs=spec.obs,
         )
         kwargs.update(overrides)
         return cls(spec.workload, spec.n_devices, **kwargs)
@@ -488,6 +506,24 @@ class DistributedEmbedding:
 
     # -- forward ----------------------------------------------------------------
 
+    def _batch_trace_scope(self):
+        """Context manager installing the next batch's trace ref (or a no-op).
+
+        The entire synchronous ``cluster.run`` of one forward belongs to one
+        batch, so scoping ``active_trace`` around the adapter call attributes
+        every span the engine records — phase spans, kernel waves, link
+        transfers — to that batch's :class:`~repro.simgpu.profiler.TraceRef`.
+        """
+        obs = self.obs_config
+        if obs is None or not obs.enabled:
+            return contextlib.nullcontext()
+        from ..obs import trace_scope
+        from ..simgpu.profiler import TraceRef
+
+        ref = TraceRef(obs.trace_id, self._trace_seq)
+        self._trace_seq += 1
+        return trace_scope(self.cluster.profiler, ref)
+
     def build_workloads(
         self, lengths_by_feature: Mapping[str, np.ndarray]
     ) -> List[DeviceWorkload]:
@@ -502,9 +538,10 @@ class DistributedEmbedding:
         """
         adapter = self.backend_adapter(backend)
         workloads = self.build_workloads(lengths_from_batch(batch))
-        timing, outputs = adapter.forward(
-            workloads, batch, functional=self.sharded is not None
-        )
+        with self._batch_trace_scope():
+            timing, outputs = adapter.forward(
+                workloads, batch, functional=self.sharded is not None
+            )
         return ForwardResult(timing=timing, outputs=outputs)
 
     def forward_timed(
@@ -520,7 +557,8 @@ class DistributedEmbedding:
                 f"backend {be!r} needs index values; use forward() with a SparseBatch"
             )
         workloads = self.build_workloads(lengths_by_feature)
-        return adapter.run_timed(workloads)
+        with self._batch_trace_scope():
+            return adapter.run_timed(workloads)
 
     # -- telemetry --------------------------------------------------------------
 

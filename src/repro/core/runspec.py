@@ -66,6 +66,7 @@ class RunSpec:
     resilience: Optional[object] = None  #: repro.faults.ResilienceSpec
     compression: Optional[object] = None  #: repro.compress.CompressionSpec
     replication: Optional[object] = None  #: repro.replication.ReplicationSpec
+    obs: Optional[object] = None  #: repro.obs.TraceSpec
     serving: Optional[ServingSpec] = None
     scheduler: Optional[SchedulerSpec] = None  #: overrides serving.scheduler
     name: str = ""  #: free-form label (presets stamp theirs here)
@@ -128,6 +129,14 @@ class RunSpec:
                     f"RunSpec.replication must be a repro.replication.ReplicationSpec, "
                     f"got {type(self.replication).__name__}"
                 )
+        if self.obs is not None:
+            from ..obs import TraceSpec  # lazy: avoid import cycle
+
+            if not isinstance(self.obs, TraceSpec):
+                raise TypeError(
+                    f"RunSpec.obs must be a repro.obs.TraceSpec, "
+                    f"got {type(self.obs).__name__}"
+                )
 
     # -- derived section views ---------------------------------------------------
 
@@ -179,6 +188,7 @@ class RunSpec:
             "replication": (
                 dataclasses.asdict(self.replication) if self.replication else None
             ),
+            "obs": dataclasses.asdict(self.obs) if self.obs else None,
             "serving": dataclasses.asdict(self.serving) if self.serving else None,
             "scheduler": (
                 dataclasses.asdict(self.scheduler) if self.scheduler else None
@@ -193,7 +203,7 @@ class RunSpec:
         known = {
             "name", "n_devices", "backend", "workload", "model",
             "cache", "resilience", "compression", "replication",
-            "serving", "scheduler",
+            "obs", "serving", "scheduler",
         }
         unknown = set(data) - known
         if unknown:
@@ -203,6 +213,7 @@ class RunSpec:
         from ..cache import CacheConfig  # lazy: avoid import cycle
         from ..compress import CompressionSpec
         from ..faults import ResilienceSpec
+        from ..obs import TraceSpec
         from ..replication import ReplicationSpec
 
         model = dict(data.get("model") or {})
@@ -237,6 +248,7 @@ class RunSpec:
             replication=_build_optional(
                 ReplicationSpec, data.get("replication"), "replication"
             ),
+            obs=_build_optional(TraceSpec, data.get("obs"), "obs"),
             serving=serving,
             scheduler=_build_optional(
                 SchedulerSpec, data.get("scheduler"), "scheduler"

@@ -55,7 +55,9 @@ from typing import TYPE_CHECKING, Dict, List, Literal, Optional
 import numpy as np
 
 from ..dlrm.data import SyntheticDataGenerator
+from ..obs import trace_scope
 from ..simgpu.engine import ProcessGenerator
+from ..simgpu.profiler import TraceRef
 from ..simgpu.stream import StreamPool
 from ..simgpu.units import ms
 from ..telemetry.metrics import interconnect_idle_ns as _interconnect_idle
@@ -202,6 +204,7 @@ class ServingResult:
     policy: str = "hybrid"  #: the batch-formation policy the run used
     formed_by: Dict[str, int] = field(default_factory=dict)  #: trigger → batches
     request_outputs: Optional[np.ndarray] = None  #: (served, F, d) when materialized
+    request_batch: Optional[np.ndarray] = None  #: per-served-request batch seq (traced runs)
 
     @property
     def n_requests(self) -> int:
@@ -485,6 +488,8 @@ class InferenceServer:
         be = backend or pipeline.backend
         needs_indices = backend_spec(be).requires_indices
         resilient = be.endswith("+resilient")
+        obs = getattr(pipeline, "obs_config", None)
+        tracing = obs is not None and obs.enabled
 
         # Pre-draw every request's features once: request r's inputs (and
         # functional outputs) are fixed regardless of how the scheduler
@@ -521,6 +526,7 @@ class InferenceServer:
         ready_t = np.full(n_requests, np.nan)
         dispatch_t = np.full(n_requests, np.nan)
         done_t = np.full(n_requests, np.nan)
+        batch_of = np.full(n_requests, -1, dtype=np.int64)
         degraded_t = np.zeros(n_requests)
         outputs_t: List[Optional[np.ndarray]] = [None] * n_requests
 
@@ -558,9 +564,13 @@ class InferenceServer:
                 # condition (served + shed == offered) is re-checked.
                 wake.notify()
 
-        def run_batch(rows: List[int], lease) -> ProcessGenerator:
+        def run_batch(rows: List[int], lease, batch_seq: int) -> ProcessGenerator:
             """Execute one dispatched batch on its leased stream set."""
             nonlocal n_hedged, n_done, in_flight
+            t_dispatch = engine.now
+            # One trace ref per dispatched batch; the hedge re-execution is
+            # the same logical batch so it shares the ref.
+            ref = TraceRef(obs.trace_id, batch_seq) if tracing else None
             rows_np = np.asarray(rows, dtype=np.int64)
             if pool is not None:
                 sub_batch = pool.take(rows_np)
@@ -576,11 +586,12 @@ class InferenceServer:
                 if sub_batch is not None:
                     proc_gen = pipeline.batch_process(
                         None, timing, be, batch=sub_batch,
-                        stream_suffix=lease.suffix,
+                        stream_suffix=lease.suffix, trace=ref,
                     )
                 else:
                     proc_gen = pipeline.batch_process(
-                        sub_lengths, timing, be, stream_suffix=lease.suffix
+                        sub_lengths, timing, be, stream_suffix=lease.suffix,
+                        trace=ref,
                     )
                 return engine.process(proc_gen, name="serve_batch")
 
@@ -598,6 +609,14 @@ class InferenceServer:
                     yield engine.any_of([proc, hedge])
             done = engine.now
             done_t[rows_np] = done
+            if ref is not None:
+                # Envelope span: the dispatched batch's full residency, the
+                # anchor Perfetto flow arrows and per-batch windows hang off.
+                batch_of[rows_np] = batch_seq
+                with trace_scope(profiler, ref):
+                    profiler.record_span(
+                        f"serve.batch{batch_seq}", "serve", -1, t_dispatch, done
+                    )
             if resilient:
                 outcome = pipeline.pop_resilient_outcome(be)
                 frac = outcome.degraded_fraction if outcome is not None else 0.0
@@ -670,7 +689,7 @@ class InferenceServer:
                 batch_sizes.append(k)
                 in_flight += 1
                 lease = slots.acquire()
-                engine.process(run_batch(rows, lease), name=f"batch{n_launched}")
+                engine.process(run_batch(rows, lease, n_launched), name=f"batch{n_launched}")
                 n_launched += 1
 
         engine.process(arrivals(), name="arrivals")
@@ -712,6 +731,7 @@ class InferenceServer:
             policy=sched.policy,
             formed_by=formed_by,
             request_outputs=request_outputs,
+            request_batch=batch_of[served] if tracing else None,
         )
         if resilient:
             # Ledger totals include hedge losers that finished late.

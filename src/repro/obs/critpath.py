@@ -1,0 +1,260 @@
+"""Critical-path extraction over recorded profiler spans.
+
+The simulator's profiler records *what ran when*; this module reconstructs
+*what bounded the run*.  The dependency DAG of the discrete-event engine is
+implicit in span timestamps: a batch (or a whole run) finishes at the end of
+its last span, which could not have started before the work preceding it.
+We therefore extract the critical path by a **backward tiling** of the
+window:
+
+1. Start a cursor at the window's end ``t1``.
+2. Among spans covering the cursor (``t_start < cursor <= t_end``), pick
+   the one with the *earliest start* — the longest backward jump, i.e. the
+   dependency that kept the timeline busy up to the cursor.  Attribute the
+   segment ``[t_start, cursor]`` to it and move the cursor to its start.
+3. If nothing covers the cursor, the timeline was idle: emit an ``idle``
+   segment back to the latest earlier span end (dependency stall, queueing,
+   or arrival gaps) and continue.
+4. Stop at ``t0``.
+
+Because consecutive segments share endpoints, the tiling is *exact*: segment
+durations sum to ``t1 - t0`` with no float residue beyond summation order
+(we use ``math.fsum``).  Per-span **slack** — duration not on the path — is
+non-negative by construction since each span is attributed at most one
+sub-interval of itself.
+
+Tie-breaking rules (documented in DESIGN.md §13):
+
+* ``serve`` spans are *envelopes* — they cover a whole batch by definition
+  and would absorb the entire path, so they bound the window but never
+  appear on the path.
+* ``kernel`` and ``link`` spans are *detail* — fine-grained duplicates of
+  the phase spans above them (a fused kernel span and the ``pgas_fused``
+  phase span share a window).  Phase spans win ties so the path reads as
+  phases, with detail spans only surfacing where no phase covers.
+* Remaining ties fall back to a canonical order — spans sorted by
+  ``(t_start, t_end, name, device_id, category)`` — which makes the path
+  invariant under re-ordering of identically-timestamped spans.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..simgpu.profiler import Profiler, Span
+
+__all__ = [
+    "PathSegment",
+    "CriticalPath",
+    "critical_path",
+    "critical_path_report",
+    "DETAIL_CATEGORIES",
+    "ENVELOPE_CATEGORIES",
+]
+
+# Fine-grained spans that duplicate the phase span covering the same window;
+# they lose ties so the path is phrased in terms of phases.
+DETAIL_CATEGORIES = frozenset({"kernel", "link"})
+
+# Container spans that cover an entire batch by construction; they define
+# windows but are excluded from path construction outright.
+ENVELOPE_CATEGORIES = frozenset({"serve"})
+
+_IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One tile of the critical path: a sub-interval attributed to a span."""
+
+    t_start: float
+    t_end: float
+    name: str
+    category: str
+    device_id: int
+    span_index: Optional[int]  # canonical index into CriticalPath.spans; None = idle gap
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The extracted path over one window plus its attribution."""
+
+    t0: float
+    t1: float
+    segments: Tuple[PathSegment, ...]
+    spans: Tuple[Span, ...]  # canonical-ordered spans considered (non-envelope)
+
+    @property
+    def wall_ns(self) -> float:
+        """End-to-end wall of the window."""
+        return self.t1 - self.t0
+
+    @property
+    def path_ns(self) -> float:
+        """Sum of segment durations — equals ``wall_ns`` exactly by tiling."""
+        return math.fsum(seg.duration for seg in self.segments)
+
+    def by_category(self) -> Dict[str, float]:
+        """Path time attributed to each category (idle gaps under ``idle``)."""
+        out: Dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.category] = out.get(seg.category, 0.0) + seg.duration
+        return out
+
+    def by_device(self) -> Dict[str, float]:
+        """Path time attributed to each device (``host`` for device -1)."""
+        out: Dict[str, float] = {}
+        for seg in self.segments:
+            key = f"dev{seg.device_id}" if seg.device_id >= 0 else "host"
+            out[key] = out.get(key, 0.0) + seg.duration
+        return out
+
+    def attributed(self) -> List[float]:
+        """Per-span time on the path, indexed like :attr:`spans`."""
+        out = [0.0] * len(self.spans)
+        for seg in self.segments:
+            if seg.span_index is not None:
+                out[seg.span_index] += seg.duration
+        return out
+
+    def slack(self) -> List[float]:
+        """Per-span slack (duration off the path), >= 0 by construction."""
+        return [s.duration - a for s, a in zip(self.spans, self.attributed())]
+
+    def whatif(self) -> Dict[str, float]:
+        """Estimated wall with one category's path contribution removed.
+
+        A first-order headroom number: e.g. ``zero_comm_wall_ns`` is the
+        run time if every all-to-all on the path cost nothing (the paper's
+        "fast as the hardware allows" ceiling).  First-order because work
+        hidden *behind* the removed category could surface a new path.
+        """
+        by_cat = self.by_category()
+        return {
+            f"zero_{cat}_wall_ns": self.wall_ns - ns
+            for cat, ns in sorted(by_cat.items())
+            if cat != _IDLE
+        }
+
+
+def _canonical(spans: Sequence[Span]) -> List[Span]:
+    """Deterministic span order independent of recording order."""
+    return sorted(
+        spans, key=lambda s: (s.t_start, s.t_end, s.name, s.device_id, s.category)
+    )
+
+
+def critical_path(
+    spans: Sequence[Span],
+    *,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> CriticalPath:
+    """Extract the critical path over ``[t0, t1]`` from recorded spans.
+
+    With ``t0``/``t1`` omitted, the window is the extent of the spans
+    themselves (earliest start to latest end, envelopes included so a
+    ``serve`` span still bounds its batch).  Envelope-category spans are
+    excluded from path construction; zero-width spans can never cover a
+    cursor and are skipped naturally.
+    """
+    if not spans:
+        if t0 is None or t1 is None:
+            raise ValueError("critical_path needs spans or an explicit window")
+    lo = min((s.t_start for s in spans), default=None)
+    hi = max((s.t_end for s in spans), default=None)
+    t0 = lo if t0 is None else t0
+    t1 = hi if t1 is None else t1
+    if t1 < t0:
+        raise ValueError(f"critical-path window ends before it starts ({t0}..{t1})")
+
+    candidates = _canonical([s for s in spans if s.category not in ENVELOPE_CATEGORIES])
+
+    segments: List[PathSegment] = []
+    cursor = t1
+    while cursor > t0:
+        best_idx: Optional[int] = None
+        best_key: Optional[Tuple[float, int, int]] = None
+        for idx, s in enumerate(candidates):
+            if s.t_start < cursor <= s.t_end:
+                rank = 1 if s.category in DETAIL_CATEGORIES else 0
+                key = (s.t_start, rank, idx)
+                if best_key is None or key < best_key:
+                    best_key, best_idx = key, idx
+        if best_idx is not None:
+            s = candidates[best_idx]
+            seg_start = max(s.t_start, t0)
+            segments.append(
+                PathSegment(seg_start, cursor, s.name, s.category, s.device_id, best_idx)
+            )
+            cursor = seg_start
+        else:
+            # Idle gap: nothing covers the cursor.  Walk back to the latest
+            # span end strictly before it (or the window start).
+            prev_end = max(
+                (s.t_end for s in candidates if s.t_end < cursor), default=t0
+            )
+            gap_start = max(prev_end, t0)
+            segments.append(PathSegment(gap_start, cursor, _IDLE, _IDLE, -1, None))
+            cursor = gap_start
+
+    segments.reverse()
+    return CriticalPath(t0=t0, t1=t1, segments=tuple(segments), spans=tuple(candidates))
+
+
+def _path_summary(cp: CriticalPath) -> Dict[str, Any]:
+    slacks = cp.slack()
+    return {
+        "wall_ns": cp.wall_ns,
+        "path_ns": cp.path_ns,
+        "n_segments": len(cp.segments),
+        "n_spans": len(cp.spans),
+        "by_category": cp.by_category(),
+        "by_device": cp.by_device(),
+        "slack": {
+            "total_ns": math.fsum(slacks),
+            "min_ns": min(slacks, default=0.0),
+            "max_ns": max(slacks, default=0.0),
+        },
+        "whatif": cp.whatif(),
+    }
+
+
+def critical_path_report(profiler: Profiler) -> Dict[str, Any]:
+    """Build the ``critical_path`` section of a RunReport (schema v4).
+
+    Run-level path over all spans, plus a per-batch breakdown for every
+    trace context seen (empty ``batches`` when tracing was off — the
+    run-level path is still meaningful without trace refs).
+    """
+    if not profiler.spans:
+        return {}
+    run = _path_summary(critical_path(profiler.spans))
+
+    groups: Dict[Tuple[int, int], List[Span]] = {}
+    for s in profiler.spans:
+        if s.trace is not None:
+            groups.setdefault((s.trace.trace_id, s.trace.batch_id), []).append(s)
+
+    batches: List[Dict[str, Any]] = []
+    for (trace_id, batch_id) in sorted(groups):
+        cp = critical_path(groups[(trace_id, batch_id)])
+        batches.append(
+            {
+                "trace_id": trace_id,
+                "batch_id": batch_id,
+                "wall_ns": cp.wall_ns,
+                "path_ns": cp.path_ns,
+                "n_segments": len(cp.segments),
+                "by_category": cp.by_category(),
+            }
+        )
+
+    run["batches"] = batches
+    return run

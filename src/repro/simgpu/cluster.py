@@ -51,6 +51,8 @@ class Cluster:
         self.devices: List[Device] = [
             Device(self.engine, i, device_spec) for i in range(n_devices)
         ]
+        for dev in self.devices:
+            dev.profiler = self.profiler
         # NVLink peers: enable one-sided access between every connected pair.
         for src in self.devices:
             for dst in self.devices:

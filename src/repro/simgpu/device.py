@@ -152,6 +152,9 @@ class Device:
         #: absolute time of a permanent ``device_down`` failure (+inf when
         #: the device has never failed); unlike stalls this never reverts
         self.down_since = float("inf")
+        #: cluster profiler, attached by Cluster so traced kernel launches
+        #: can record per-kernel spans (None when running device-standalone)
+        self.profiler = None
 
     # -- fault state -------------------------------------------------------------
 

@@ -161,11 +161,15 @@ class Link:
         message_bytes: int = 0,
         header_bytes: int = 0,
         on_complete: Optional[Callable[[float], None]] = None,
+        on_schedule: Optional[Callable[[float, float], None]] = None,
     ) -> Event:
         """Reserve the link for a payload; returns an event firing at delivery.
 
         ``on_complete(t_delivered)`` runs at the delivery instant (before
         waiters), which the profiler uses to stamp comm counters.
+        ``on_schedule(start, done_at)`` runs synchronously at reservation
+        time with the computed occupancy window — the observability layer
+        records traced link spans from it without perturbing the schedule.
         """
         engine = self.engine
         wire = wire_bytes(payload_bytes, message_bytes, header_bytes)
@@ -180,6 +184,8 @@ class Link:
         busy = wire / self.effective_bandwidth + n_messages * self.spec.per_message_ns
         done_at = start + busy + self.spec.latency_ns + self.extra_latency_ns
         self._free_at = start + busy
+        if on_schedule is not None:
+            on_schedule(start, done_at)
         self.busy_time += busy
         self.bytes_carried += wire
         self.transfer_count += 1
@@ -320,11 +326,20 @@ class Interconnect:
                 prof.add_count(name, t, payload_bytes)
                 prof.add_count(f"{name}.dev{src}->dev{dst}", t, payload_bytes)
 
+        on_schedule = None
+        if prof is not None and prof.active_trace is not None:
+            # Traced transfers additionally record a link-occupancy span so
+            # the critical-path analyser sees individual wire time.  Guarded
+            # on an active trace: untraced runs stay span-for-span identical.
+            def on_schedule(start: float, done_at: float) -> None:
+                prof.record_span(f"xfer.dev{src}->dev{dst}", "link", src, start, done_at)
+
         return self.link(src, dst).transfer(
             payload_bytes,
             message_bytes=message_bytes,
             header_bytes=header_bytes,
             on_complete=on_complete,
+            on_schedule=on_schedule,
         )
 
     # -- statistics -------------------------------------------------------------

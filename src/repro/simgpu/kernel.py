@@ -217,4 +217,9 @@ def execute_kernel(
     remaining = max(spec.min_kernel_ns - elapsed, 0.0) + kspec.tail_ns
     if remaining > 0:
         yield engine.timeout(remaining)
+    prof = getattr(device, "profiler", None)
+    if prof is not None and prof.active_trace is not None:
+        # Traced launches record a per-kernel span for critical-path detail.
+        # Guarded on an active trace so untraced runs stay span-identical.
+        prof.record_span(kspec.name, "kernel", device.id, t0, engine.now)
     return engine.now - t0

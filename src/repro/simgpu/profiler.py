@@ -21,7 +21,22 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Span", "Counter", "Profiler"]
+__all__ = ["Span", "Counter", "Profiler", "TraceRef"]
+
+
+@dataclass(frozen=True)
+class TraceRef:
+    """Trace context: which request/batch a span belongs to.
+
+    ``trace_id`` identifies the run-level trace (one per
+    :class:`~repro.obs.TraceSpec`); ``batch_id`` identifies the dispatched
+    batch within it.  Spans recorded while a trace is active carry the ref,
+    which the Chrome exporter turns into Perfetto flow arrows and the
+    critical-path analyser uses to group spans per batch.
+    """
+
+    trace_id: int
+    batch_id: int
 
 
 @dataclass(frozen=True)
@@ -33,6 +48,10 @@ class Span:
     device_id: int
     t_start: float
     t_end: float
+    # Trace context, stamped from Profiler.active_trace.  Last field with a
+    # default so positional construction (and equality for untraced spans)
+    # is unchanged from the pre-obs layout.
+    trace: Optional[TraceRef] = None
 
     @property
     def duration(self) -> float:
@@ -129,6 +148,10 @@ class Profiler:
         self.spans: List[Span] = []
         self.counters: Dict[str, Counter] = {}
         self.enabled = True
+        # Trace context stamped onto every span recorded while set.  None
+        # (the default) keeps record_span's output identical to a repo
+        # without observability — zero overhead when tracing is off.
+        self.active_trace: Optional[TraceRef] = None
 
     # -- spans -------------------------------------------------------------------
 
@@ -140,7 +163,7 @@ class Profiler:
             return
         if t_end < t_start:
             raise ValueError(f"span {name!r} ends before it starts")
-        self.spans.append(Span(name, category, device_id, t_start, t_end))
+        self.spans.append(Span(name, category, device_id, t_start, t_end, self.active_trace))
 
     def spans_by_category(self, category: str, device_id: Optional[int] = None) -> List[Span]:
         """All spans of ``category`` (optionally restricted to one device)."""

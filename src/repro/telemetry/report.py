@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..obs.critpath import critical_path_report
 from ..simgpu.interconnect import Topology
 from ..simgpu.profiler import Profiler
 from .metrics import BURSTINESS_BINS, MetricsRegistry, compute_metrics, link_stats
@@ -43,8 +44,9 @@ __all__ = [
 
 #: bump on any backwards-incompatible change to the report layout
 #: (2: added the ``compression`` counter section;
-#:  3: added the ``availability`` counter section)
-SCHEMA_VERSION = 3
+#:  3: added the ``availability`` counter section;
+#:  4: added the ``critical_path`` section)
+SCHEMA_VERSION = 4
 
 #: level counter stamped by :class:`repro.core.serving.InferenceServer`
 QUEUE_DEPTH_COUNTER = "serving.queue_depth"
@@ -101,6 +103,7 @@ class RunReport:
     cache: Dict[str, float] = field(default_factory=dict)
     compression: Dict[str, float] = field(default_factory=dict)
     availability: Dict[str, float] = field(default_factory=dict)
+    critical_path: Dict[str, Any] = field(default_factory=dict)
     serving: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
     meta: Dict[str, Any] = field(default_factory=dict)
@@ -130,6 +133,7 @@ class RunReport:
                 "cache": self.cache,
                 "compression": self.compression,
                 "availability": self.availability,
+                "critical_path": self.critical_path,
                 "serving": self.serving,
                 "faults": self.faults,
                 "meta": self.meta,
@@ -156,6 +160,7 @@ class RunReport:
             cache=dict(data.get("cache", {})),
             compression=dict(data.get("compression", {})),
             availability=dict(data.get("availability", {})),
+            critical_path=dict(data.get("critical_path", {})),
             serving=dict(data.get("serving", {})),
             faults=dict(data.get("faults", {})),
             meta=dict(data.get("meta", {})),
@@ -180,6 +185,7 @@ _SCHEMA: Dict[str, tuple] = {
     "cache": (False, (dict,)),
     "compression": (False, (dict,)),
     "availability": (False, (dict,)),
+    "critical_path": (False, (dict,)),
     "serving": (False, (dict,)),
     "faults": (False, (dict,)),
     "meta": (False, (dict,)),
@@ -222,6 +228,17 @@ def validate_report(data: Any) -> None:
         for name, value in data.get(key, {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ReportValidationError(f"{key}[{name!r}] must be a number")
+    cp = data.get("critical_path", {})
+    if cp:
+        for cp_key in ("wall_ns", "path_ns"):
+            if cp_key not in cp:
+                raise ReportValidationError(f"critical_path missing {cp_key!r}")
+            if isinstance(cp[cp_key], bool) or not isinstance(cp[cp_key], (int, float)):
+                raise ReportValidationError(f"critical_path[{cp_key!r}] must be a number")
+        if not isinstance(cp.get("by_category", {}), dict):
+            raise ReportValidationError("critical_path['by_category'] must be a dict")
+        if not isinstance(cp.get("batches", []), list):
+            raise ReportValidationError("critical_path['batches'] must be a list")
     for window in data.get("faults", {}).get("windows", []):
         for wkey in ("name", "t_start_ns", "t_end_ns"):
             if wkey not in window:
@@ -269,6 +286,8 @@ def collect_run_report(
     object exposing ``as_dict()`` (``WorkloadConfig`` dataclasses also
     work).  Pass ``include_series=False`` to keep the artifact small
     (metrics and link stats are retained; the per-bin gauges are dropped).
+    The ``critical_path`` section is derived from the same span record
+    (run-level always; per-batch entries when the run was traced).
     """
 
     def to_dict(obj: Any) -> Dict[str, Any]:
@@ -316,6 +335,7 @@ def collect_run_report(
         cache=_counter_totals(profiler, "cache."),
         compression=_counter_totals(profiler, "compress."),
         availability=_counter_totals(profiler, "availability."),
+        critical_path=critical_path_report(profiler) if profiler.spans else {},
         serving=to_dict(serving),
         faults=faults,
         meta=dict(meta or {}),

@@ -1,0 +1,144 @@
+"""Tests for the critpath bench and its artifact validator."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.critpath import run_critpath, validate_critpath_json
+from repro.obs.regress import Tolerance, compare_critpath
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_critpath("tiny", n_devices=2, backends=("pgas", "baseline"),
+                        n_batches=2, scale=0.25, seed=3)
+
+
+@pytest.fixture(scope="module")
+def data(result):
+    # Round-trip through JSON so the validator sees exactly what CI reads.
+    return json.loads(json.dumps(result.as_dict()))
+
+
+class TestRun:
+    def test_artifact_validates(self, data):
+        validate_critpath_json(data)
+
+    def test_per_backend_points(self, result):
+        assert [p.backend for p in result.points] == ["pgas", "baseline"]
+        for p in result.points:
+            assert p.wall_ns > 0
+            assert p.path_ns == pytest.approx(p.wall_ns, rel=1e-9)
+            assert p.slack_min_ns >= 0.0
+            assert len(p.batches) == 2
+
+    def test_paper_claim_baseline_exposed_pgas_hidden(self, result):
+        """The path witnesses §III: baseline crosses the wire, PGAS hides it."""
+        assert result.point("baseline").by_category.get("comm", 0.0) > 0
+        assert "comm" not in result.point("pgas").by_category
+        assert result.point("pgas").by_category.get("fused", 0.0) > 0
+
+    def test_render_mentions_backends(self, result):
+        text = result.render()
+        assert "pgas" in text and "baseline" in text
+        assert "wall (ms)" in text
+
+    def test_write_json_round_trips(self, result, tmp_path):
+        path = tmp_path / "BENCH_critpath.json"
+        result.write_json(str(path))
+        with open(path) as fh:
+            validate_critpath_json(json.load(fh))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_critpath("tiny", backends=())
+        with pytest.raises(ValueError):
+            run_critpath("tiny", n_batches=0)
+
+
+class TestValidatorTamperDetection:
+    def test_path_wall_mismatch_rejected(self, data):
+        bad = copy.deepcopy(data)
+        bad["points"][0]["path_ns"] *= 1.5
+        with pytest.raises(ValueError, match="does not tile"):
+            validate_critpath_json(bad)
+
+    def test_category_sum_mismatch_rejected(self, data):
+        bad = copy.deepcopy(data)
+        k = next(iter(bad["points"][0]["by_category"]))
+        bad["points"][0]["by_category"][k] += 1e6
+        with pytest.raises(ValueError, match="category attribution"):
+            validate_critpath_json(bad)
+
+    def test_negative_slack_rejected(self, data):
+        bad = copy.deepcopy(data)
+        bad["points"][0]["slack_min_ns"] = -1.0
+        with pytest.raises(ValueError, match="negative per-span slack"):
+            validate_critpath_json(bad)
+
+    def test_whatif_above_wall_rejected(self, data):
+        bad = copy.deepcopy(data)
+        bad["points"][0]["whatif"]["zero_fused_wall_ns"] = \
+            bad["points"][0]["wall_ns"] * 2
+        with pytest.raises(ValueError, match="what-if"):
+            validate_critpath_json(bad)
+
+    def test_batch_tiling_mismatch_rejected(self, data):
+        bad = copy.deepcopy(data)
+        bad["points"][0]["batches"][0]["path_ns"] += 1e6
+        with pytest.raises(ValueError, match="per-batch path"):
+            validate_critpath_json(bad)
+
+    def test_pgas_with_exposed_comm_rejected(self, data):
+        bad = copy.deepcopy(data)
+        for p in bad["points"]:
+            if p["backend"] == "pgas":
+                # Forge an exposed comm phase while keeping sums consistent.
+                moved = p["by_category"].pop("fused")
+                p["by_category"]["comm"] = moved
+        with pytest.raises(ValueError, match="exposed comm"):
+            validate_critpath_json(bad)
+
+    def test_baseline_without_comm_rejected(self, data):
+        bad = copy.deepcopy(data)
+        for p in bad["points"]:
+            if p["backend"] == "baseline":
+                moved = p["by_category"].pop("comm")
+                p["by_category"]["compute"] = \
+                    p["by_category"].get("compute", 0.0) + moved
+        with pytest.raises(ValueError, match="never crossed"):
+            validate_critpath_json(bad)
+
+    def test_missing_key_rejected(self, data):
+        bad = copy.deepcopy(data)
+        del bad["points"][0]["slack_total_ns"]
+        with pytest.raises(ValueError, match="missing key 'slack_total_ns'"):
+            validate_critpath_json(bad)
+
+    def test_wrong_schema_version_rejected(self, data):
+        bad = copy.deepcopy(data)
+        bad["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_critpath_json(bad)
+
+
+class TestGateIntegration:
+    def test_self_comparison_passes(self, data):
+        assert compare_critpath(data, data).passed
+
+    def test_determinism_across_runs(self, data):
+        again = run_critpath("tiny", n_devices=2,
+                             backends=("pgas", "baseline"),
+                             n_batches=2, scale=0.25, seed=3).as_dict()
+        gate = compare_critpath(data, json.loads(json.dumps(again)),
+                                tolerance=Tolerance(rel=0.0, abs_ns=0.0))
+        assert gate.passed  # bit-equal runs survive a zero-tolerance gate
+
+    def test_slowdown_breaches(self, data):
+        slow = copy.deepcopy(data)
+        for p in slow["points"]:
+            p["wall_ns"] *= 2.0
+        assert not compare_critpath(data, slow).passed

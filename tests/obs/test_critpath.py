@@ -1,0 +1,207 @@
+"""Tests for critical-path extraction: hand-built cases + properties."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import critical_path, critical_path_report
+from repro.obs.critpath import DETAIL_CATEGORIES, ENVELOPE_CATEGORIES
+from repro.simgpu.profiler import Profiler, Span, TraceRef
+
+
+def span(name, cat, dev, t0, t1, trace=None):
+    return Span(name, cat, dev, t0, t1, trace)
+
+
+class TestHandBuilt:
+    def test_single_span_tiles_whole_window(self):
+        cp = critical_path([span("k", "compute", 0, 0.0, 10.0)])
+        assert cp.wall_ns == 10.0
+        assert cp.path_ns == 10.0
+        assert len(cp.segments) == 1
+        assert cp.segments[0].name == "k"
+
+    def test_gap_becomes_idle_segment(self):
+        cp = critical_path([
+            span("a", "compute", 0, 0.0, 4.0),
+            span("b", "compute", 0, 6.0, 10.0),
+        ])
+        assert [s.category for s in cp.segments] == ["compute", "idle", "compute"]
+        assert cp.segments[1].t_start == 4.0
+        assert cp.segments[1].t_end == 6.0
+        assert cp.path_ns == cp.wall_ns
+
+    def test_overlap_prefers_earliest_start(self):
+        """Backward from t=10: 'b' covers; jumping to b's start, 'a' covers."""
+        cp = critical_path([
+            span("a", "comm", 0, 0.0, 6.0),
+            span("b", "compute", 1, 4.0, 10.0),
+        ])
+        assert [s.name for s in cp.segments] == ["a", "b"]
+        # Segments share endpoints: a owns [0, 4], b owns [4, 10].
+        assert cp.segments[0].t_end == cp.segments[1].t_start == 4.0
+        assert cp.by_category() == {"comm": 4.0, "compute": 6.0}
+
+    def test_contained_span_earliest_start_wins_whole_window(self):
+        cp = critical_path([
+            span("outer", "compute", 0, 0.0, 10.0),
+            span("inner", "comm", 0, 3.0, 7.0),
+        ])
+        assert [s.name for s in cp.segments] == ["outer"]
+        slacks = dict(zip((s.name for s in cp.spans), cp.slack()))
+        assert slacks["outer"] == 0.0
+        assert slacks["inner"] == 4.0  # fully off the path
+
+    def test_envelope_bounds_window_but_never_appears(self):
+        cp = critical_path([
+            span("serve.batch0", "serve", -1, 0.0, 20.0),
+            span("work", "compute", 0, 5.0, 15.0),
+        ])
+        assert cp.wall_ns == 20.0  # envelope still bounds the window
+        names = {s.name for s in cp.segments}
+        assert "serve.batch0" not in names
+        assert [s.category for s in cp.segments] == ["idle", "compute", "idle"]
+
+    def test_detail_loses_tie_to_phase_span(self):
+        """A kernel span and its phase span share a window: phase wins."""
+        cp = critical_path([
+            span("emb_wave", "kernel", 0, 0.0, 10.0),
+            span("pgas_fused", "fused", 0, 0.0, 10.0),
+        ])
+        assert [s.name for s in cp.segments] == ["pgas_fused"]
+
+    def test_explicit_window_clips_and_pads(self):
+        cp = critical_path([span("k", "compute", 0, 2.0, 5.0)], t0=0.0, t1=8.0)
+        assert cp.wall_ns == 8.0
+        assert [s.category for s in cp.segments] == ["idle", "compute", "idle"]
+        assert cp.path_ns == 8.0
+
+    def test_empty_window_needs_bounds(self):
+        with pytest.raises(ValueError):
+            critical_path([])
+        cp = critical_path([], t0=0.0, t1=5.0)
+        assert cp.path_ns == 5.0
+        assert [s.category for s in cp.segments] == ["idle"]
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            critical_path([span("k", "compute", 0, 0.0, 1.0)], t0=5.0, t1=2.0)
+
+    def test_whatif_drops_one_category(self):
+        cp = critical_path([
+            span("a", "comm", 0, 0.0, 4.0),
+            span("b", "compute", 1, 4.0, 10.0),
+        ])
+        assert cp.whatif() == {
+            "zero_comm_wall_ns": 6.0,
+            "zero_compute_wall_ns": 4.0,
+        }
+
+    def test_by_device_attribution(self):
+        cp = critical_path([
+            span("a", "comm", 0, 0.0, 4.0),
+            span("b", "compute", 1, 4.0, 10.0),
+            span("h", "phase", -1, 10.0, 12.0),
+        ])
+        assert cp.by_device() == {"dev0": 4.0, "dev1": 6.0, "host": 2.0}
+
+
+# -- property-based tests -----------------------------------------------------
+
+_CATS = sorted(
+    ({"compute", "comm", "fused", "phase"} | DETAIL_CATEGORIES) - ENVELOPE_CATEGORIES
+)
+
+
+@st.composite
+def span_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    spans = []
+    for i in range(n):
+        t0 = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+        dur = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+        cat = draw(st.sampled_from(_CATS))
+        dev = draw(st.integers(min_value=-1, max_value=3))
+        spans.append(span(f"s{i}", cat, dev, t0, t0 + dur))
+    return spans
+
+
+@given(spans=span_lists())
+@settings(max_examples=200, deadline=None)
+def test_path_tiles_wall_exactly(spans):
+    """Segments are adjacent tiles of [t0, t1]; their fsum equals the wall."""
+    cp = critical_path(spans)
+    # Exact adjacency: each segment starts where the previous ended.
+    cursor = cp.t0
+    for seg in cp.segments:
+        assert seg.t_start == cursor
+        assert seg.t_end >= seg.t_start
+        cursor = seg.t_end
+    assert cursor == cp.t1
+    # The fsum of durations only differs from the wall by float rounding.
+    assert cp.path_ns == pytest.approx(cp.wall_ns, rel=1e-9, abs=1e-9)
+
+
+@given(spans=span_lists())
+@settings(max_examples=200, deadline=None)
+def test_slack_nonnegative(spans):
+    """Every span's attributed path time never exceeds its own duration."""
+    cp = critical_path(spans)
+    for s, slack in zip(cp.spans, cp.slack()):
+        assert slack >= 0.0
+        assert slack <= s.duration + 1e-9
+
+
+@given(spans=span_lists(), seed=st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_path_invariant_under_span_reordering(spans, seed):
+    """Recording order never changes the extracted path (canonical order)."""
+    cp1 = critical_path(spans)
+    shuffled = list(spans)
+    seed.shuffle(shuffled)
+    cp2 = critical_path(shuffled)
+    assert cp1.segments == cp2.segments
+    assert cp1.spans == cp2.spans
+
+
+@given(spans=span_lists())
+@settings(max_examples=100, deadline=None)
+def test_category_attribution_sums_to_path(spans):
+    cp = critical_path(spans)
+    assert math.fsum(cp.by_category().values()) == pytest.approx(
+        cp.path_ns, rel=1e-9, abs=1e-9
+    )
+    assert math.fsum(cp.by_device().values()) == pytest.approx(
+        cp.path_ns, rel=1e-9, abs=1e-9
+    )
+
+
+class TestReport:
+    def test_empty_profiler_empty_report(self):
+        assert critical_path_report(Profiler()) == {}
+
+    def test_untraced_run_has_run_level_path_only(self):
+        prof = Profiler()
+        prof.record_span("k", "compute", 0, 0.0, 10.0)
+        rep = critical_path_report(prof)
+        assert rep["wall_ns"] == 10.0
+        assert rep["path_ns"] == 10.0
+        assert rep["batches"] == []
+
+    def test_per_batch_entries_tile_their_windows(self):
+        prof = Profiler()
+        for b in range(3):
+            ref = TraceRef(0, b)
+            base = 100.0 * b
+            prof.spans.append(span("a", "compute", 0, base, base + 40.0, ref))
+            prof.spans.append(span("b", "comm", 1, base + 40.0, base + 60.0, ref))
+        rep = critical_path_report(prof)
+        assert [b["batch_id"] for b in rep["batches"]] == [0, 1, 2]
+        for entry in rep["batches"]:
+            assert entry["path_ns"] == pytest.approx(entry["wall_ns"], rel=1e-9)
+            assert entry["by_category"] == {"compute": 40.0, "comm": 20.0}
+        assert rep["slack"]["min_ns"] >= 0.0

@@ -142,6 +142,67 @@ class TestBackends:
         assert "compress" in out and "indices" in out
         assert "quantized" in out  # descriptions are printed
 
+    def test_traceable_capability_flag(self, capsys):
+        code, out = run_cli(capsys, "backends")
+        assert code == 0
+        assert "traceable" in out
+
+
+class TestCritpath:
+    def test_tiny_preset_writes_valid_artifact(self, capsys, tmp_path):
+        from repro.bench.critpath import validate_critpath_json
+
+        out_path = tmp_path / "BENCH_critpath.json"
+        code, out = run_cli(
+            capsys, "critpath", "--preset", "tiny", "--scale", "0.25",
+            "--seed", "3", "--output", str(out_path),
+        )
+        assert code == 0
+        assert "pgas" in out and "baseline" in out
+        assert "schema-valid" in out
+        validate_critpath_json(json.loads(out_path.read_text()))
+
+    def test_gate_passes_against_own_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_critpath.json"
+        args = ("critpath", "--preset", "tiny", "--scale", "0.25",
+                "--seed", "3", "--output", str(out_path))
+        code, _ = run_cli(capsys, *args)
+        assert code == 0
+        code, out = run_cli(capsys, *args, "--gate", str(out_path))
+        assert code == 0
+        assert "regression gate: PASS" in out
+
+    def test_gate_breach_fails_with_explanation(self, capsys, tmp_path):
+        out_path = tmp_path / "BENCH_critpath.json"
+        code, _ = run_cli(
+            capsys, "critpath", "--preset", "tiny", "--scale", "0.25",
+            "--seed", "3", "--output", str(out_path),
+        )
+        assert code == 0
+        # Shrink the committed baseline so the fresh run must breach it.
+        baseline = json.loads(out_path.read_text())
+        for p in baseline["points"]:
+            p["wall_ns"] *= 0.5
+            p["by_category"] = {k: v * 0.5 for k, v in p["by_category"].items()}
+        gate_path = tmp_path / "baseline.json"
+        gate_path.write_text(json.dumps(baseline))
+        code, out = run_cli(
+            capsys, "critpath", "--preset", "tiny", "--scale", "0.25",
+            "--seed", "3", "--output", "", "--gate", str(gate_path),
+            "--gate-abs-ns", "0",
+        )
+        assert code == 1
+        assert "regression gate: FAIL" in out
+        assert "BREACH" in out
+
+    def test_skip_output(self, capsys):
+        code, out = run_cli(
+            capsys, "critpath", "--preset", "tiny", "--scale", "0.25",
+            "--output", "",
+        )
+        assert code == 0
+        assert "wrote" not in out
+
 
 class TestCompsweep:
     def test_tiny_sweep_writes_valid_artifact(self, capsys, tmp_path):
