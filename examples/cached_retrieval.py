@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import DistributedEmbedding, SyntheticDataGenerator, WorkloadConfig
+from repro import (DistributedEmbedding, FeatureSpec, SyntheticDataGenerator,
+                   WorkloadConfig)
 from repro.cache import CacheConfig
 from repro.simgpu.units import to_ms
 
@@ -44,7 +45,8 @@ def main() -> None:
     rng_seed = 0
     plain = DistributedEmbedding(config, n_gpus, backend="pgas", materialize=True,
                                  rng=np.random.default_rng(rng_seed))
-    cached = DistributedEmbedding(config, n_gpus, backend="pgas+cache", cache=cache,
+    cached = DistributedEmbedding(config, n_gpus, backend="pgas+cache",
+                                  features=FeatureSpec(cache=cache),
                                   materialize=True, rng=np.random.default_rng(rng_seed))
 
     gen = SyntheticDataGenerator(config)

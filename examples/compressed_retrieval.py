@@ -20,6 +20,7 @@ import numpy as np
 from repro import (
     CompressionSpec,
     DistributedEmbedding,
+    FeatureSpec,
     SyntheticDataGenerator,
     WorkloadConfig,
 )
@@ -45,7 +46,9 @@ def main() -> None:
     def build(backend, codec=None):
         return DistributedEmbedding(
             config, n_gpus, backend=backend,
-            compression=CompressionSpec(codec=codec) if codec else None,
+            features=FeatureSpec(
+                compression=CompressionSpec(codec=codec) if codec else None,
+            ),
             materialize=True, rng=np.random.default_rng(0),
         )
 

@@ -20,6 +20,9 @@ Packages
 :mod:`repro.replication`
     Shard replication, failover routing, online recovery — the
     ``"+replicated"`` backends.
+:mod:`repro.reshard`
+    Skew-aware online resharding: traffic tracking, migration planning,
+    paced shard streaming — the ``"+reshard"`` backends.
 :mod:`repro.dlrm`
     Numpy DLRM: embedding tables, jagged batches, MLPs, interaction,
     synthetic data.
@@ -50,6 +53,7 @@ from .core import (
     BaselineRetrieval,
     DLRMInferencePipeline,
     DistributedEmbedding,
+    FeatureSpec,
     ForwardResult,
     InferenceServer,
     PGASFusedRetrieval,
@@ -61,6 +65,7 @@ from .core import (
     ShardedEmbeddingTables,
     TableWiseSharding,
     available_backends,
+    build_backend,
     preset_runspec,
 )
 
@@ -87,6 +92,11 @@ from .compress import CompressedRetrieval, CompressionSpec
 # after core and faults (failover keys off the device_down fault kind).
 from . import replication
 from .replication import ReplicatedRetrieval, ReplicationSpec
+
+# Importing repro.reshard registers the "+reshard" backends; keep it after
+# core and replication (migration streaming reuses the paced-transfer idiom).
+from . import reshard
+from .reshard import ReshardRetrieval, ReshardSpec
 from .dlrm import (
     DLRM,
     DLRMConfig,
@@ -126,6 +136,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "FeatureSpec",
     "ForwardResult",
     "JaggedField",
     "MetricsRegistry",
@@ -136,6 +147,8 @@ __all__ = [
     "ReplicationSpec",
     "ResilienceSpec",
     "ResilientRetrieval",
+    "ReshardRetrieval",
+    "ReshardSpec",
     "RowWiseSharding",
     "RunSpec",
     "SchedulerSpec",
@@ -148,6 +161,7 @@ __all__ = [
     "WorkloadConfig",
     "__version__",
     "available_backends",
+    "build_backend",
     "preset_runspec",
     "cache",
     "collect_run_report",
@@ -159,6 +173,7 @@ __all__ = [
     "faults",
     "obs",
     "replication",
+    "reshard",
     "simgpu",
     "telemetry",
 ]

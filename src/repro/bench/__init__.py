@@ -59,6 +59,12 @@ from .servesweep import (
     run_serve_sweep,
     validate_servesweep_json,
 )
+from .skewsweep import (
+    SkewSweepPoint,
+    SkewSweepResult,
+    run_skew_sweep,
+    validate_skewsweep_json,
+)
 from .telemetry import (
     MetricsComparison,
     preset_workload,
@@ -109,6 +115,10 @@ __all__ = [
     "ServeSweepResult",
     "run_serve_sweep",
     "validate_servesweep_json",
+    "SkewSweepPoint",
+    "SkewSweepResult",
+    "run_skew_sweep",
+    "validate_skewsweep_json",
     "UNIT_BYTES",
     "ascii_series",
     "breakdown_from_scaling",

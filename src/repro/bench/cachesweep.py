@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..cache import CacheConfig
 from ..core.baseline import PhaseTiming
+from ..core.factory import FeatureSpec
 from ..core.pipeline import DLRMInferencePipeline, PipelineConfig
 from ..core.retrieval import DistributedEmbedding
 from ..core.serving import InferenceServer, ServingResult, ServingSpec
@@ -162,7 +163,9 @@ def run_cache_sweep(
                 cfg,
                 n_devices,
                 backend=f"{base}+cache",
-                cache=CacheConfig(capacity_fraction=float(frac), policy=policy),
+                features=FeatureSpec(
+                    cache=CacheConfig(capacity_fraction=float(frac), policy=policy)
+                ),
             )
             engine = emb.backend_adapter()
             if policy == "static-topk" and warm:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.baseline import PhaseTiming
+from ..core.factory import FeatureSpec
 from ..core.retrieval import DistributedEmbedding
 from ..dlrm.data import SyntheticDataGenerator
 from ..faults import FaultEvent, FaultInjector, FaultPlan
@@ -277,7 +278,7 @@ def run_chaos_sweep(
                     cfg,
                     n_devices,
                     backend=f"{base}+replicated",
-                    replication=spec,
+                    features=FeatureSpec(replication=spec),
                 )
                 adapter = emb.backend_adapter(f"{base}+replicated")
                 gen = SyntheticDataGenerator(cfg)

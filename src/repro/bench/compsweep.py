@@ -32,6 +32,7 @@ import numpy as np
 
 from ..compress import CODEC_NAMES, CompressionSpec, make_codec, roundtrip_error_report
 from ..core.baseline import PhaseTiming
+from ..core.factory import FeatureSpec
 from ..core.retrieval import DistributedEmbedding
 from ..dlrm.data import SyntheticDataGenerator
 from ..simgpu.units import to_ms, us
@@ -277,7 +278,7 @@ def run_comp_sweep(
                     cfg,
                     n_devices,
                     backend=f"{base}+compress",
-                    compression=CompressionSpec(codec=codec),
+                    features=FeatureSpec(compression=CompressionSpec(codec=codec)),
                 )
                 adapter = emb.backend_adapter(f"{base}+compress")
                 gen = SyntheticDataGenerator(cfg)

@@ -25,6 +25,7 @@ works exactly like the uncached backends (``repro`` imports it for you).
 
 from __future__ import annotations
 
+from ..core.factory import build_adapter
 from ..core.retrieval import register_backend
 from .hotrow import CacheAccess, CacheConfig, CacheStats, HotRowCache
 from .policy import (
@@ -74,15 +75,16 @@ def cached_retrieval_for(emb, base: str) -> CachedRetrieval:
     )
 
 
+# Thin aliases: composition lives in repro.core.factory.build_adapter.
 register_backend(
     "pgas+cache",
-    lambda emb: cached_retrieval_for(emb, "pgas"),
+    lambda emb: build_adapter(emb, "pgas+cache"),
     requires_indices=True,
     description="PGAS retrieval with the hot-row cache short-circuiting remote reads",
 )
 register_backend(
     "baseline+cache",
-    lambda emb: cached_retrieval_for(emb, "baseline"),
+    lambda emb: build_adapter(emb, "baseline+cache"),
     requires_indices=True,
     description="collective retrieval with the hot-row cache shrinking the all-to-all",
 )

@@ -11,6 +11,7 @@ Commands
 ``servesweep``  continuous-batching goodput vs in-flight depth K + BENCH_serving.json
 ``compsweep``   codec x backend wire/time/error grid + BENCH_compression.json
 ``chaossweep``  availability/goodput vs replication k x failures + BENCH_availability.json
+``skewsweep``   online resharding vs static placement under skew + BENCH_reshard.json
 ``critpath``    traced critical-path attribution + BENCH_critpath.json (and
                 an optional regression gate against a committed baseline)
 ``backends``    list the registered backends with their capability flags
@@ -185,6 +186,30 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--seed", type=int, default=None,
                     help="workload seed override (default: preset's)")
     ch.add_argument("--output", default="BENCH_availability.json",
+                    help="machine-readable artifact path ('' to skip)")
+
+    sk = sub.add_parser("skewsweep",
+                        help="online resharding vs static placement sweep + "
+                             "BENCH_reshard.json")
+    sk.add_argument("--preset", choices=PRESETS, default="tiny",
+                    help="workload preset (resolved via preset_runspec)")
+    sk.add_argument("--gpus", type=int, default=4, help="simulated GPU count")
+    sk.add_argument("--backends", nargs="+",
+                    default=["pgas", "pgas+reshard", "baseline",
+                             "baseline+reshard"],
+                    help="backends to compare (mix static and +reshard)")
+    sk.add_argument("--skews", type=float, nargs="+", default=[0.0, 1.05],
+                    help="table traffic skew exponents (0 = uniform)")
+    sk.add_argument("--batches", type=int, default=10, help="batches per point")
+    sk.add_argument("--threshold", type=float, default=1.1,
+                    help="planner max/mean imbalance trigger")
+    sk.add_argument("--migration-share", type=float, default=0.25,
+                    help="link bandwidth share granted to migration streams")
+    sk.add_argument("--scale", type=float, default=1.0,
+                    help="batch-size scale factor (1.0 = preset size)")
+    sk.add_argument("--seed", type=int, default=None,
+                    help="workload seed override (default: preset's)")
+    sk.add_argument("--output", default="BENCH_reshard.json",
                     help="machine-readable artifact path ('' to skip)")
 
     cr = sub.add_parser("critpath",
@@ -449,6 +474,39 @@ def _cmd_chaossweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_skewsweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.skewsweep import run_skew_sweep, validate_skewsweep_json
+    from .reshard import ReshardSpec
+
+    spec = ReshardSpec(
+        window_batches=max(4, args.batches // 2),
+        min_batches=2,
+        check_interval_batches=2,
+        imbalance_threshold=args.threshold,
+        migration_bandwidth_share=args.migration_share,
+    )
+    sweep = run_skew_sweep(
+        args.preset,
+        n_devices=args.gpus,
+        backends=args.backends,
+        skews=args.skews,
+        n_batches=args.batches,
+        reshard_spec=spec,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(sweep.render())
+    if args.output:
+        sweep.write_json(args.output)
+        # Self-check: the artifact we just wrote must round-trip the schema.
+        with open(args.output) as fh:
+            validate_skewsweep_json(json.load(fh))
+        print(f"wrote {args.output} (schema-valid, {len(sweep.points)} points)")
+    return 0
+
+
 def _cmd_critpath(args: argparse.Namespace) -> int:
     import json
 
@@ -499,6 +557,8 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             flags.append("compress")
         if info.replicated:
             flags.append("replication")
+        if info.resharded:
+            flags.append("reshard")
         if info.requires_indices:
             flags.append("indices")
         if info.traceable:
@@ -572,6 +632,7 @@ _COMMANDS = {
     "servesweep": _cmd_servesweep,
     "compsweep": _cmd_compsweep,
     "chaossweep": _cmd_chaossweep,
+    "skewsweep": _cmd_skewsweep,
     "critpath": _cmd_critpath,
     "backends": _cmd_backends,
     "plan": _cmd_plan,

@@ -32,6 +32,7 @@ you).
 
 from __future__ import annotations
 
+from ..core.factory import build_adapter
 from ..core.retrieval import register_backend
 from .codec import (
     CODEC_NAMES,
@@ -103,13 +104,14 @@ def compressed_retrieval_for(emb, base: str) -> CompressedRetrieval:
     )
 
 
+# Thin aliases: composition lives in repro.core.factory.build_adapter.
 register_backend(
     "pgas+compress",
-    lambda emb: compressed_retrieval_for(emb, "pgas"),
+    lambda emb: build_adapter(emb, "pgas+compress"),
     description="PGAS retrieval with quantized one-sided writes (fp32/fp16/int8/int4 row codecs)",
 )
 register_backend(
     "baseline+compress",
-    lambda emb: compressed_retrieval_for(emb, "baseline"),
+    lambda emb: build_adapter(emb, "baseline+compress"),
     description="collective retrieval with quantized all-to-all payloads and a destination-side decode pass",
 )

@@ -23,6 +23,13 @@ from .calibration import (
     REMOTE_WRITE_KERNEL_DRAG,
     UNPACK_BANDWIDTH,
 )
+from .factory import (
+    CANONICAL_FEATURE_ORDER,
+    FeatureSpec,
+    build_adapter,
+    build_backend,
+    parse_backend_name,
+)
 from .functional import (
     SendBlock,
     ShardedEmbeddingTables,
@@ -49,6 +56,7 @@ from .serving import InferenceServer, SchedulerSpec, ServingResult, ServingSpec
 from .sharding import (
     RowShard,
     RowWiseSharding,
+    ShardingError,
     ShardingPlan,
     TableWiseSharding,
     minibatch_bounds,
@@ -82,6 +90,11 @@ __all__ = [
     "BackendInfo",
     "BackendName",
     "BackendSpec",
+    "CANONICAL_FEATURE_ORDER",
+    "FeatureSpec",
+    "build_adapter",
+    "build_backend",
+    "parse_backend_name",
     "BaselineBackward",
     "BaselineRetrieval",
     "PGASFusedBackward",
@@ -130,6 +143,7 @@ __all__ = [
     "ServingResult",
     "ServingSpec",
     "ShardedEmbeddingTables",
+    "ShardingError",
     "ShardingPlan",
     "TableWiseSharding",
     "DLRMTrainingPipeline",

@@ -75,10 +75,11 @@ class PlacementReport:
             f"placement: {self.plan.num_tables} tables on {self.n_devices} x "
             f"{self.device_spec.name} (reserve {self.reserve_fraction:.0%})"
         ]
+        dev_width = len(str(self.n_devices - 1))
         for d in range(self.n_devices):
             tables = self.plan.tables_on(d)
             lines.append(
-                f"  dev {d}: {len(tables):3d} tables, "
+                f"  dev {d:>{dev_width}}: {len(tables):3d} tables, "
                 f"{self.per_device_bytes[d] / 2**30:6.2f} GiB "
                 f"({self.utilization[d]:5.1%} of budget)"
             )

@@ -41,6 +41,10 @@ layered on top of it.  Consumers dispatch on the suffix:
 * ``"+replicated"`` marks a backend with k-way shard replicas, heartbeat
   failure detection, failover routing, and online re-replication,
   configured by a :class:`repro.replication.ReplicationSpec`.
+* ``"+reshard"`` marks a backend with the skew-aware online load
+  balancer: observed per-table traffic drives background table
+  migrations with serve-from-old-owner cutover, configured by a
+  :class:`repro.reshard.ReshardSpec`.
 * A bare base name is the plain timed retrieval.
 
 Code that needs the base strategy (e.g. to pick the functional forward)
@@ -53,7 +57,11 @@ Stacking wrappers (two or more ``+<feature>`` suffixes, e.g.
 ``"pgas+compress+resilient"``) has no defined semantics unless someone
 registers that composed backend explicitly: looking up an unregistered
 composition raises a ``ValueError`` naming the unsupported combination
-rather than silently picking one wrapper order.
+rather than silently picking one wrapper order.  The mechanical side of
+the contract — parsing names, attaching feature wrappers, the canonical
+composition order — lives in :mod:`repro.core.factory`; the feature
+packages' registry entries are thin aliases over its
+:func:`~repro.core.factory.build_adapter`.
 
 Example
 -------
@@ -70,6 +78,7 @@ Example
 from __future__ import annotations
 
 import contextlib
+import warnings
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -91,7 +100,9 @@ from ..dlrm.batch import SparseBatch
 from ..dlrm.data import WorkloadConfig
 from ..dlrm.embedding import EmbeddingBagCollection, EmbeddingTableConfig
 from ..simgpu.cluster import Cluster, dgx_v100
+from ..simgpu.memory import Buffer
 from .baseline import BaselineRetrieval, PhaseTiming
+from .factory import FeatureSpec
 from .functional import (
     ShardedEmbeddingTables,
     baseline_functional_forward,
@@ -213,6 +224,11 @@ class BackendInfo(str):
     def replicated(self) -> bool:
         """True for ``"+replicated"`` backends (shard replicas + failover)."""
         return "+replicated" in self
+
+    @property
+    def resharded(self) -> bool:
+        """True for ``"+reshard"`` backends (skew-aware online migration)."""
+        return "+reshard" in self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<BackendInfo {str(self)!r}: {self.description}>"
@@ -386,6 +402,7 @@ class DistributedEmbedding:
         materialize: bool = False,
         collective_spec: Optional[CollectiveSpec] = None,
         pgas_spec: Optional[PGASSpec] = None,
+        features: Optional[FeatureSpec] = None,
         cache: Optional[object] = None,
         resilience: Optional[object] = None,
         compression: Optional[object] = None,
@@ -393,23 +410,58 @@ class DistributedEmbedding:
         obs: Optional[object] = None,
         rng: Optional[np.random.Generator] = None,
     ):
-        """``cache`` is a :class:`repro.cache.CacheConfig` consumed by the
-        ``"+cache"`` backends; ``resilience`` is a
-        :class:`repro.faults.ResilienceSpec` consumed by the
-        ``"+resilient"`` backends; ``compression`` is a
-        :class:`repro.compress.CompressionSpec` consumed by the
-        ``"+compress"`` backends; ``replication`` is a
-        :class:`repro.replication.ReplicationSpec` consumed by the
-        ``"+replicated"`` backends (each ignored by the other backends);
-        ``obs`` is a :class:`repro.obs.TraceSpec` enabling trace-context
-        propagation (None or ``enabled=False`` keeps every backend
-        bit-identical to an untraced run)."""
+        """``features`` is the :class:`~repro.core.factory.FeatureSpec`
+        bundling every per-feature config: ``cache`` for the ``"+cache"``
+        backends, ``resilience`` for ``"+resilient"``, ``compression``
+        for ``"+compress"``, ``replication`` for ``"+replicated"``,
+        ``reshard`` for ``"+reshard"`` (each ignored by the other
+        backends), and ``obs`` — a :class:`repro.obs.TraceSpec` enabling
+        trace-context propagation for any backend (None or
+        ``enabled=False`` keeps every backend bit-identical to an
+        untraced run).
+
+        The individual ``cache=`` / ``resilience=`` / ``compression=`` /
+        ``replication=`` / ``obs=`` keywords are **deprecated** (one
+        release of grace): they fold into a ``FeatureSpec`` with a
+        ``DeprecationWarning``, and combining them with ``features=``
+        raises."""
         backend_spec(backend)  # unknown names raise here
-        if obs is not None:
+        legacy = {
+            key: value
+            for key, value in (
+                ("cache", cache),
+                ("resilience", resilience),
+                ("compression", compression),
+                ("replication", replication),
+                ("obs", obs),
+            )
+            if value is not None
+        }
+        if legacy:
+            if features is not None:
+                raise ValueError(
+                    f"pass feature configs via features=FeatureSpec(...) only; "
+                    f"got features= together with deprecated keyword(s) "
+                    f"{', '.join(sorted(legacy))}"
+                )
+            warnings.warn(
+                f"the DistributedEmbedding keyword(s) "
+                f"{', '.join(sorted(legacy))} are deprecated; pass "
+                f"features=FeatureSpec({', '.join(f'{k}=...' for k in sorted(legacy))}) "
+                f"instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            features = FeatureSpec(**legacy)
+        self.features: FeatureSpec = features or FeatureSpec()
+        if self.features.obs is not None:
             from ..obs import TraceSpec
 
-            if not isinstance(obs, TraceSpec):
-                raise TypeError(f"obs must be a repro.obs.TraceSpec, got {type(obs).__name__}")
+            if not isinstance(self.features.obs, TraceSpec):
+                raise TypeError(
+                    f"obs must be a repro.obs.TraceSpec, "
+                    f"got {type(self.features.obs).__name__}"
+                )
         if isinstance(tables, WorkloadConfig):
             table_configs = tables.table_configs()
         else:
@@ -424,25 +476,18 @@ class DistributedEmbedding:
         self.plan.validate()
         self.collective_spec = collective_spec
         self.pgas_spec = pgas_spec
-        self.cache_config = cache
-        self.resilience_config = resilience
-        self.compression_config = compression
-        self.replication_config = replication
-        self.obs_config = obs
         # Monotone batch counter for trace refs (one per traced forward).
         self._trace_seq = 0
 
         # Register weight storage with the per-device memory accountants.
-        self._weight_buffers = []
+        self._weight_buffers: Dict[str, Buffer] = {}
         for dev in self.cluster.devices:
             for cfg in self.plan.tables_on(dev.id):
-                self._weight_buffers.append(
-                    dev.memory.alloc(
-                        (cfg.num_rows, cfg.dim),
-                        cfg.dtype,
-                        materialize=False,
-                        label=f"weights.{cfg.name}",
-                    )
+                self._weight_buffers[cfg.name] = dev.memory.alloc(
+                    (cfg.num_rows, cfg.dim),
+                    cfg.dtype,
+                    materialize=False,
+                    label=f"weights.{cfg.name}",
                 )
 
         self.sharded: Optional[ShardedEmbeddingTables] = None
@@ -458,15 +503,20 @@ class DistributedEmbedding:
 
         ``overrides`` pass straight to the keyword constructor (e.g.
         ``backend=...`` for A/B runs or ``materialize=True`` for the
-        functional path on the same spec).
+        functional path on the same spec).  Prefer
+        :func:`repro.core.factory.build_backend`, which also pre-builds
+        the adapter so composition errors surface immediately.
         """
         kwargs = dict(
             backend=spec.backend,
-            cache=spec.cache,
-            resilience=spec.resilience,
-            compression=spec.compression,
-            replication=spec.replication,
-            obs=spec.obs,
+            features=FeatureSpec(
+                cache=spec.cache,
+                resilience=spec.resilience,
+                compression=spec.compression,
+                replication=spec.replication,
+                reshard=spec.reshard,
+                obs=spec.obs,
+            ),
         )
         kwargs.update(overrides)
         return cls(spec.workload, spec.n_devices, **kwargs)
@@ -477,6 +527,45 @@ class DistributedEmbedding:
     def n_devices(self) -> int:
         """Device count."""
         return self.cluster.n_devices
+
+    @property
+    def cache_config(self) -> Optional[object]:
+        """The ``features.cache`` section (legacy accessor, read-only)."""
+        return self.features.cache
+
+    @property
+    def resilience_config(self) -> Optional[object]:
+        """The ``features.resilience`` section (legacy accessor, read-only)."""
+        return self.features.resilience
+
+    @property
+    def compression_config(self) -> Optional[object]:
+        """The ``features.compression`` section (legacy accessor, read-only)."""
+        return self.features.compression
+
+    @property
+    def replication_config(self) -> Optional[object]:
+        """The ``features.replication`` section (legacy accessor, read-only)."""
+        return self.features.replication
+
+    @property
+    def reshard_config(self) -> Optional[object]:
+        """The ``features.reshard`` section."""
+        return self.features.reshard
+
+    @property
+    def obs_config(self) -> Optional[object]:
+        """The ``features.obs`` section (legacy accessor, read-only)."""
+        return self.features.obs
+
+    def weight_buffer_map(self) -> Dict[str, Buffer]:
+        """Live table-name → weight :class:`~repro.simgpu.memory.Buffer` map.
+
+        The reshard executor mutates this map at migration cutover (frees
+        the old owner's buffer, installs the destination's), so it always
+        reflects where each table's weights are accounted *right now*.
+        """
+        return self._weight_buffers
 
     @property
     def materialized(self) -> bool:

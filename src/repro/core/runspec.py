@@ -66,6 +66,7 @@ class RunSpec:
     resilience: Optional[object] = None  #: repro.faults.ResilienceSpec
     compression: Optional[object] = None  #: repro.compress.CompressionSpec
     replication: Optional[object] = None  #: repro.replication.ReplicationSpec
+    reshard: Optional[object] = None  #: repro.reshard.ReshardSpec
     obs: Optional[object] = None  #: repro.obs.TraceSpec
     serving: Optional[ServingSpec] = None
     scheduler: Optional[SchedulerSpec] = None  #: overrides serving.scheduler
@@ -129,6 +130,14 @@ class RunSpec:
                     f"RunSpec.replication must be a repro.replication.ReplicationSpec, "
                     f"got {type(self.replication).__name__}"
                 )
+        if self.reshard is not None:
+            from ..reshard import ReshardSpec  # lazy: avoid import cycle
+
+            if not isinstance(self.reshard, ReshardSpec):
+                raise TypeError(
+                    f"RunSpec.reshard must be a repro.reshard.ReshardSpec, "
+                    f"got {type(self.reshard).__name__}"
+                )
         if self.obs is not None:
             from ..obs import TraceSpec  # lazy: avoid import cycle
 
@@ -188,6 +197,7 @@ class RunSpec:
             "replication": (
                 dataclasses.asdict(self.replication) if self.replication else None
             ),
+            "reshard": dataclasses.asdict(self.reshard) if self.reshard else None,
             "obs": dataclasses.asdict(self.obs) if self.obs else None,
             "serving": dataclasses.asdict(self.serving) if self.serving else None,
             "scheduler": (
@@ -203,7 +213,7 @@ class RunSpec:
         known = {
             "name", "n_devices", "backend", "workload", "model",
             "cache", "resilience", "compression", "replication",
-            "obs", "serving", "scheduler",
+            "reshard", "obs", "serving", "scheduler",
         }
         unknown = set(data) - known
         if unknown:
@@ -215,6 +225,7 @@ class RunSpec:
         from ..faults import ResilienceSpec
         from ..obs import TraceSpec
         from ..replication import ReplicationSpec
+        from ..reshard import ReshardSpec
 
         model = dict(data.get("model") or {})
         serving_payload = data.get("serving")
@@ -248,6 +259,7 @@ class RunSpec:
             replication=_build_optional(
                 ReplicationSpec, data.get("replication"), "replication"
             ),
+            reshard=_build_optional(ReshardSpec, data.get("reshard"), "reshard"),
             obs=_build_optional(TraceSpec, data.get("obs"), "obs"),
             serving=serving,
             scheduler=_build_optional(

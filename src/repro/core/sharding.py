@@ -27,11 +27,21 @@ from ..dlrm.embedding import EmbeddingTableConfig
 __all__ = [
     "minibatch_bounds",
     "sample_owner",
+    "ShardingError",
     "ShardingPlan",
     "TableWiseSharding",
     "RowWiseSharding",
     "RowShard",
 ]
+
+
+class ShardingError(ValueError):
+    """A sharding-plan lookup that cannot be satisfied.
+
+    Raised (instead of a bare ``KeyError``/``IndexError``) when a plan is
+    asked about a table it does not contain or a device outside its range,
+    so callers can catch one typed error across every plan flavour.
+    """
 
 
 def minibatch_bounds(batch_size: int, n_devices: int) -> List[Tuple[int, int]]:
@@ -222,10 +232,29 @@ class RowWiseSharding(ShardingPlan):
 
     def shards_of(self, table_name: str) -> List[RowShard]:
         """All device shards of one table."""
+        if table_name not in self._shards:
+            raise ShardingError(
+                f"table {table_name!r} is not in this row-wise plan "
+                f"({self.num_tables} tables)"
+            )
         return list(self._shards[table_name])
 
     def shard_on(self, table_name: str, device_id: int) -> RowShard:
-        """One device's shard of one table."""
+        """One device's shard of one table.
+
+        Raises :class:`ShardingError` (not ``KeyError``) for unknown
+        tables or out-of-range devices.
+        """
+        if table_name not in self._shards:
+            raise ShardingError(
+                f"table {table_name!r} is not in this row-wise plan "
+                f"({self.num_tables} tables)"
+            )
+        if not (0 <= device_id < self.n_devices):
+            raise ShardingError(
+                f"device {device_id} out of range for the "
+                f"{self.n_devices}-device plan"
+            )
         return self._shards[table_name][device_id]
 
     def row_owner(self, table_name: str, rows: np.ndarray) -> np.ndarray:

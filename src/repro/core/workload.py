@@ -41,6 +41,8 @@ __all__ = [
     "build_device_workloads",
     "lengths_from_batch",
     "alltoall_split_bytes",
+    "rehome_workloads",
+    "table_segments",
     "unpack_bytes_received",
 ]
 
@@ -234,6 +236,104 @@ def build_device_workloads(
             )
         )
     return workloads
+
+
+def table_segments(
+    plan: TableWiseSharding, workloads: Sequence[DeviceWorkload]
+) -> Dict[str, tuple]:
+    """Lift each table's block segment out of its owner's workload.
+
+    Table-wise workloads are a concatenation of per-table block segments
+    (``n_chunks`` blocks per table, in the plan's global feature order), so
+    each table's blocks can be recovered exactly.  Returns
+    ``{table_name: (block_weights, block_dst_bytes, nnz)}`` — the raw
+    material for re-homing tables under a different ownership (failover,
+    migration cutover) without rebuilding from jagged lengths.
+    """
+    segments: Dict[str, tuple] = {}
+    for wl in workloads:
+        tables = plan.tables_on(wl.device_id)
+        if not tables:
+            continue
+        n_chunks = math.ceil(wl.batch_size / wl.samples_per_block)
+        for j, cfg in enumerate(tables):
+            sl = slice(j * n_chunks, (j + 1) * n_chunks)
+            weights = wl.block_weights[sl]
+            segments[cfg.name] = (
+                weights,
+                wl.block_dst_bytes[sl],
+                int(round(float(weights.sum()))),
+            )
+    return segments
+
+
+def rehome_workloads(
+    plan: TableWiseSharding,
+    workloads: Sequence[DeviceWorkload],
+    owners: Mapping[str, Optional[int]],
+) -> List[DeviceWorkload]:
+    """Rebuild per-device workloads under an explicit effective ownership.
+
+    ``owners`` maps each table name to the device that should *serve* it
+    for this batch (``None`` drops the table's lookups entirely — the
+    replication layer uses that for tables with no live holder).
+    Destination columns of ``block_dst_bytes`` are absolute device ids and
+    need no adjustment, which is what re-derives the baseline's all-to-all
+    splits and the PGAS put targets on the new owner for free.  Shared by
+    replication failover and reshard migration cutover.
+    """
+    if not workloads:
+        raise ValueError("rehome_workloads needs at least one workload")
+    G = plan.n_devices
+    segments = table_segments(plan, workloads)
+    batch_size = workloads[0].batch_size
+    spb = workloads[0].samples_per_block
+    out: List[DeviceWorkload] = []
+    for d in range(G):
+        cfgs = [
+            cfg
+            for cfg in plan.table_configs
+            if owners.get(cfg.name) == d and cfg.name in segments
+        ]
+        if not cfgs:
+            out.append(
+                DeviceWorkload(
+                    device_id=d,
+                    n_devices=G,
+                    batch_size=batch_size,
+                    row_bytes=plan.table_configs[0].row_bytes,
+                    num_local_tables=0,
+                    nnz=0,
+                    num_blocks=0,
+                    samples_per_block=spb,
+                    block_weights=np.empty(0),
+                    block_dst_bytes=np.zeros((0, G)),
+                )
+            )
+            continue
+        row_bytes = {cfg.row_bytes for cfg in cfgs}
+        if len(row_bytes) != 1:
+            raise ValueError(
+                "re-homing would mix row byte sizes on one device; "
+                "table re-homing needs tables of equal row_bytes"
+            )
+        weights = np.concatenate([segments[cfg.name][0] for cfg in cfgs])
+        dst = np.concatenate([segments[cfg.name][1] for cfg in cfgs], axis=0)
+        out.append(
+            DeviceWorkload(
+                device_id=d,
+                n_devices=G,
+                batch_size=batch_size,
+                row_bytes=row_bytes.pop(),
+                num_local_tables=len(cfgs),
+                nnz=sum(segments[cfg.name][2] for cfg in cfgs),
+                num_blocks=dst.shape[0],
+                samples_per_block=spb,
+                block_weights=weights,
+                block_dst_bytes=dst,
+            )
+        )
+    return out
 
 
 def alltoall_split_bytes(workloads: Sequence[DeviceWorkload]) -> np.ndarray:

@@ -48,6 +48,7 @@ class WorkloadConfig:
     min_pooling: int = 0  #: 0 allows "NULL" bags as in paper Fig. 3
     index_distribution: IndexDistribution = "uniform"
     zipf_alpha: float = 1.05
+    table_skew_alpha: Optional[float] = None  #: zipf skew of *per-table* traffic
     pooling: PoolingMode = "sum"
     raw_cardinality: Optional[int] = None  #: pre-hash index space; default = rows
     seed: int = 2024
@@ -65,6 +66,11 @@ class WorkloadConfig:
             )
         if self.index_distribution == "zipf" and self.zipf_alpha <= 1.0:
             raise ValueError("zipf_alpha must be > 1 for a proper Zipf law")
+        if self.table_skew_alpha is not None and self.table_skew_alpha <= 0:
+            raise ValueError(
+                f"table_skew_alpha must be positive (or None for uniform "
+                f"table traffic), got {self.table_skew_alpha}"
+            )
 
     @property
     def mean_pooling(self) -> float:
@@ -98,6 +104,22 @@ class WorkloadConfig:
             for name in self.feature_names
         ]
 
+    def table_skew_scales(self) -> Optional[np.ndarray]:
+        """Per-table traffic multipliers under the table-popularity skew.
+
+        ``None`` when :attr:`table_skew_alpha` is unset (uniform traffic).
+        Otherwise table *t* gets weight ``(t + 1) ** -alpha`` (zipf over
+        the feature order), normalised so the multipliers average 1.0 —
+        the *total* expected traffic matches the uniform workload, only
+        its distribution over tables changes.
+        """
+        if self.table_skew_alpha is None:
+            return None
+        w = np.arange(1, self.num_tables + 1, dtype=np.float64) ** (
+            -self.table_skew_alpha
+        )
+        return w * (self.num_tables / w.sum())
+
     def scaled_tables(self, num_tables: int) -> "WorkloadConfig":
         """Copy with a different table count (weak-scaling helper)."""
         return replace(self, num_tables=num_tables)
@@ -118,6 +140,16 @@ STRONG_SCALING_TOTAL = WorkloadConfig(
 )
 
 
+def _skew_lengths(lengths: np.ndarray, scale: float) -> np.ndarray:
+    """Scale a uniform per-sample length draw by one table's multiplier.
+
+    The scaling happens *after* the uniform draw, so the generator's RNG
+    stream is untouched — a config with ``table_skew_alpha=None`` is
+    bit-identical to one that never had the knob.
+    """
+    return np.rint(lengths.astype(np.float64) * scale).astype(np.int64)
+
+
 class SyntheticDataGenerator:
     """Draws dense + sparse batches for a :class:`WorkloadConfig`."""
 
@@ -136,11 +168,14 @@ class SyntheticDataGenerator:
         cfg = self.config
         B = batch_size or cfg.batch_size
         cardinality = cfg.raw_cardinality or cfg.rows_per_table
+        scales = cfg.table_skew_scales()
         fields = {}
-        for name in cfg.feature_names:
+        for t, name in enumerate(cfg.feature_names):
             lengths = self._rng.integers(
                 cfg.min_pooling, cfg.max_pooling + 1, size=B, dtype=np.int64
             )
+            if scales is not None:
+                lengths = _skew_lengths(lengths, scales[t])
             nnz = int(lengths.sum())
             indices = self._draw_indices(nnz, cardinality)
             fields[name] = JaggedField.from_lengths(lengths, indices)
@@ -168,12 +203,16 @@ class SyntheticDataGenerator:
         """
         cfg = self.config
         B = batch_size or cfg.batch_size
-        return {
-            name: self._rng.integers(
+        scales = cfg.table_skew_scales()
+        out = {}
+        for t, name in enumerate(cfg.feature_names):
+            lengths = self._rng.integers(
                 cfg.min_pooling, cfg.max_pooling + 1, size=B, dtype=np.int64
             )
-            for name in cfg.feature_names
-        }
+            if scales is not None:
+                lengths = _skew_lengths(lengths, scales[t])
+            out[name] = lengths
+        return out
 
     # -- dense ------------------------------------------------------------------
 

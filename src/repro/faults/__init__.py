@@ -31,6 +31,7 @@ pass-through.
 
 from __future__ import annotations
 
+from ..core.factory import build_adapter
 from ..core.retrieval import register_backend
 from .injector import SPAN_CATEGORY, WINDOW_COUNTER, FaultInjector, pair_is_down
 from .plan import DEVICE_KINDS, FAULT_KINDS, LINK_KINDS, FaultEvent, FaultPlan
@@ -74,15 +75,16 @@ def resilient_retrieval_for(emb, base: str) -> ResilientRetrieval:
     )
 
 
+# Thin aliases: composition lives in repro.core.factory.build_adapter.
 register_backend(
     "pgas+resilient",
-    lambda emb: resilient_retrieval_for(emb, "pgas"),
+    lambda emb: build_adapter(emb, "pgas+resilient"),
     requires_indices=False,
     description="PGAS retrieval under the retry/reroute/degrade fault wrapper",
 )
 register_backend(
     "baseline+resilient",
-    lambda emb: resilient_retrieval_for(emb, "baseline"),
+    lambda emb: build_adapter(emb, "baseline+resilient"),
     requires_indices=False,
     description="collective retrieval under the retry/reroute/degrade fault wrapper",
 )

@@ -31,6 +31,7 @@ you).
 
 from __future__ import annotations
 
+from ..core.factory import build_adapter
 from ..core.retrieval import register_backend
 from .retrieval import (
     BATCH_LOOKUPS_COUNTER,
@@ -80,13 +81,14 @@ def replicated_retrieval_for(emb, base: str) -> ReplicatedRetrieval:
     )
 
 
+# Thin aliases: composition lives in repro.core.factory.build_adapter.
 register_backend(
     "pgas+replicated",
-    lambda emb: replicated_retrieval_for(emb, "pgas"),
+    lambda emb: build_adapter(emb, "pgas+replicated"),
     description="PGAS retrieval with k-way shard replicas, heartbeat failover, and online re-replication",
 )
 register_backend(
     "baseline+replicated",
-    lambda emb: replicated_retrieval_for(emb, "baseline"),
+    lambda emb: build_adapter(emb, "baseline+replicated"),
     description="collective retrieval with k-way shard replicas, heartbeat failover, and online re-replication",
 )

@@ -41,7 +41,6 @@ Counter names are module constants (also read by
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -56,7 +55,7 @@ from ..core.functional import (
 from ..core.pgas_retrieval import PGASFusedRetrieval
 from ..core.retrieval import RetrievalBackend
 from ..core.sharding import TableWiseSharding
-from ..core.workload import DeviceWorkload
+from ..core.workload import DeviceWorkload, rehome_workloads, table_segments
 from ..dlrm.batch import SparseBatch
 from ..simgpu.cluster import Cluster
 from ..simgpu.device import Device
@@ -336,32 +335,16 @@ class ReplicatedRetrieval(RetrievalBackend):
     ) -> Tuple[List[DeviceWorkload], int, int]:
         """Rebuild per-device workloads under the effective ownership.
 
-        Table-wise workloads are a concatenation of per-table block
-        segments (``n_chunks`` blocks per table, in the plan's global
-        feature order), so each table's blocks can be lifted out of its
-        dead primary's workload and re-homed exactly.  Destination
-        columns of ``block_dst_bytes`` are absolute device ids and need
-        no adjustment — which is precisely what re-derives the all-to-all
-        splits and PGAS put targets on the new owner.  Returns
+        Built on the shared :func:`~repro.core.workload.table_segments` /
+        :func:`~repro.core.workload.rehome_workloads` machinery (also used
+        by reshard migration cutover): each table's block segment is
+        lifted out of its dead primary's workload and re-homed exactly,
+        with ``block_dst_bytes`` columns needing no adjustment.  Returns
         ``(workloads, failover_nnz, unavailable_nnz)``.
         """
         plan = self.table_plan
-        G = self.cluster.n_devices
         owners = self.effective_owners()
-        segments: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
-        for wl in workloads:
-            tables = plan.tables_on(wl.device_id)
-            if not tables:
-                continue
-            n_chunks = math.ceil(wl.batch_size / wl.samples_per_block)
-            for j, cfg in enumerate(tables):
-                sl = slice(j * n_chunks, (j + 1) * n_chunks)
-                weights = wl.block_weights[sl]
-                segments[cfg.name] = (
-                    weights,
-                    wl.block_dst_bytes[sl],
-                    int(round(float(weights.sum()))),
-                )
+        segments = table_segments(plan, workloads)
         moved = 0
         unavailable = 0
         for cfg in plan.table_configs:
@@ -371,53 +354,15 @@ class ReplicatedRetrieval(RetrievalBackend):
                 unavailable += nnz
             elif eff != plan.owner_of(cfg.name):
                 moved += nnz
-        batch_size = workloads[0].batch_size
-        spb = workloads[0].samples_per_block
-        out: List[DeviceWorkload] = []
-        for d in range(G):
-            cfgs = [
-                cfg
-                for cfg in plan.table_configs
-                if owners[cfg.name] == d and cfg.name in segments
-            ]
-            if not cfgs:
-                out.append(
-                    DeviceWorkload(
-                        device_id=d,
-                        n_devices=G,
-                        batch_size=batch_size,
-                        row_bytes=plan.table_configs[0].row_bytes,
-                        num_local_tables=0,
-                        nnz=0,
-                        num_blocks=0,
-                        samples_per_block=spb,
-                        block_weights=np.empty(0),
-                        block_dst_bytes=np.zeros((0, G)),
-                    )
-                )
-                continue
-            row_bytes = {cfg.row_bytes for cfg in cfgs}
-            if len(row_bytes) != 1:
+        try:
+            out = rehome_workloads(plan, workloads, owners)
+        except ValueError as exc:
+            if "mix row byte sizes" in str(exc):
                 raise ValueError(
                     "failover would mix row byte sizes on one device; "
                     "replicated failover needs tables of equal row_bytes"
-                )
-            weights = np.concatenate([segments[cfg.name][0] for cfg in cfgs])
-            dst = np.concatenate([segments[cfg.name][1] for cfg in cfgs], axis=0)
-            out.append(
-                DeviceWorkload(
-                    device_id=d,
-                    n_devices=G,
-                    batch_size=batch_size,
-                    row_bytes=row_bytes.pop(),
-                    num_local_tables=len(cfgs),
-                    nnz=sum(segments[cfg.name][2] for cfg in cfgs),
-                    num_blocks=dst.shape[0],
-                    samples_per_block=spb,
-                    block_weights=weights,
-                    block_dst_bytes=dst,
-                )
-            )
+                ) from exc
+            raise
         return out, moved, unavailable
 
     # -- timed path --------------------------------------------------------------

@@ -1,0 +1,107 @@
+"""Skew-aware online resharding: dynamic load balancing of table shards.
+
+Static table-wise placement balances *capacity*, but real recommendation
+traffic is zipf-skewed per table: a handful of hot tables can leave one
+GPU moving several times the retrieval bytes of its neighbours, and the
+hot device's EMB + comm time bounds every batch.  This package adds the
+closed observe → plan → migrate → cutover loop that fixes the placement
+online:
+
+* :mod:`repro.reshard.spec` — the frozen :class:`ReshardSpec` policy
+  (window length, planning cadence, imbalance threshold, move budget,
+  migration bandwidth share);
+* :mod:`repro.reshard.tracker` — :class:`LoadTracker`, sliding-window
+  per-table traffic from what the retrieval layer already knows (batch
+  lookup bytes, optional cache hit rates);
+* :mod:`repro.reshard.planner` — :class:`ReshardPlanner`, greedy
+  whole-table moves under :class:`~repro.simgpu.memory.MemoryPool`
+  capacity, plus :class:`RowSplitAdvisory` for tables too hot for any
+  table-wise placement;
+* :mod:`repro.reshard.executor` — :class:`ReshardExecutor`, background
+  engine processes streaming moving shards over the real interconnect,
+  chunked and bandwidth-share-paced like replication recovery;
+* :mod:`repro.reshard.retrieval` — :class:`ReshardRetrieval`, the
+  serving wrapper: batches snapshot ownership at start and migrating
+  tables keep serving from the old owner until their last chunk lands,
+  so functional outputs stay bit-identical throughout.
+
+Importing this package registers the ``"pgas+reshard"`` and
+``"baseline+reshard"`` backends with the core registry, so
+
+>>> emb = DistributedEmbedding(cfg, n_devices=4, backend="pgas+reshard",
+...                            features=FeatureSpec(reshard=ReshardSpec()))
+
+works exactly like the static backends (``repro`` imports it for you).
+"""
+
+from __future__ import annotations
+
+from ..core.factory import build_adapter
+from ..core.retrieval import register_backend
+from .executor import (
+    ADVISORIES_COUNTER,
+    MIGRATION_BYTES_COUNTER,
+    MIGRATION_NS_COUNTER,
+    MIGRATIONS_COUNTER,
+    MOVES_COUNTER,
+    PLANS_COUNTER,
+    ReshardExecutor,
+)
+from .planner import MigrationPlan, ReshardPlanner, RowSplitAdvisory, TableMove
+from .retrieval import ReshardLedger, ReshardRetrieval
+from .spec import ReshardSpec
+from .tracker import LoadTracker
+
+__all__ = [
+    "ADVISORIES_COUNTER",
+    "LoadTracker",
+    "MIGRATIONS_COUNTER",
+    "MIGRATION_BYTES_COUNTER",
+    "MIGRATION_NS_COUNTER",
+    "MOVES_COUNTER",
+    "MigrationPlan",
+    "PLANS_COUNTER",
+    "ReshardExecutor",
+    "ReshardLedger",
+    "ReshardPlanner",
+    "ReshardRetrieval",
+    "ReshardSpec",
+    "RowSplitAdvisory",
+    "TableMove",
+    "reshard_retrieval_for",
+]
+
+
+def reshard_retrieval_for(emb, base: str) -> ReshardRetrieval:
+    """Build a :class:`ReshardRetrieval` bound to a
+    :class:`~repro.core.retrieval.DistributedEmbedding` (the registry
+    factories' shared implementation)."""
+    spec = emb.reshard_config
+    if spec is not None and not isinstance(spec, ReshardSpec):
+        raise TypeError(
+            f"DistributedEmbedding reshard must be a ReshardSpec, "
+            f"got {type(spec).__name__}"
+        )
+    return ReshardRetrieval(
+        emb.cluster,
+        emb.plan,
+        spec or ReshardSpec(),
+        base=base,
+        collective_spec=emb.collective_spec,
+        pgas_spec=emb.pgas_spec,
+        sharded=emb.sharded,
+        weight_buffers=emb.weight_buffer_map(),
+    )
+
+
+# Thin aliases: composition lives in repro.core.factory.build_adapter.
+register_backend(
+    "pgas+reshard",
+    lambda emb: build_adapter(emb, "pgas+reshard"),
+    description="PGAS retrieval with skew-aware online table migration and serve-from-old-owner cutover",
+)
+register_backend(
+    "baseline+reshard",
+    lambda emb: build_adapter(emb, "baseline+reshard"),
+    description="collective retrieval with skew-aware online table migration and serve-from-old-owner cutover",
+)

@@ -1,0 +1,210 @@
+"""Migration execution: stream moving shards over the real interconnect.
+
+The :class:`ReshardExecutor` turns a :class:`~repro.reshard.planner.
+MigrationPlan` into background engine processes, one per table move,
+reusing the chunked, bandwidth-share-paced transfer discipline of the
+replication recovery stream (`repro.replication.retrieval`): each chunk
+occupies the link for its real simulated duration (so migration bytes
+compete with, and are visible next to, foreground retrieval traffic in
+Chrome traces), then idles long enough that the stream averages the
+configured bandwidth share.
+
+Cutover protocol
+----------------
+The destination's :class:`~repro.simgpu.memory.MemoryPool` buffer is
+reserved *at submit time* (so the space is committed before any bytes
+move; a destination without room rejects the move).  While the stream is
+in flight the table keeps serving from its old owner — batches snapshot
+ownership at batch start, so no batch ever observes a half-migrated
+table.  Only when the last chunk lands does the executor invoke the
+cutover callback (flipping the serving owner) and free the old owner's
+weight buffer.  Functional outputs are bit-identical throughout: weights
+are aliased by table name, and the output tensors partition by *sample*,
+not by table placement.
+
+Counter names are module constants (also read by
+``repro.telemetry.metrics`` — keep the ``reshard.`` prefix stable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.sharding import TableWiseSharding
+from ..simgpu.cluster import Cluster
+from ..simgpu.memory import Buffer, OutOfDeviceMemory
+from .planner import MigrationPlan, TableMove
+from .spec import ReshardSpec
+
+__all__ = [
+    "ADVISORIES_COUNTER",
+    "MIGRATIONS_COUNTER",
+    "MIGRATION_BYTES_COUNTER",
+    "MIGRATION_NS_COUNTER",
+    "MOVES_COUNTER",
+    "PLANS_COUNTER",
+    "ReshardExecutor",
+    "SPAN_CATEGORY",
+]
+
+#: migration plans adopted (stamped once per non-empty plan)
+PLANS_COUNTER = "reshard.plans"
+#: table moves submitted for execution
+MOVES_COUNTER = "reshard.moves"
+#: migration bytes streamed (per-link variants appear in Chrome traces)
+MIGRATION_BYTES_COUNTER = "reshard.migration_bytes"
+#: table migrations completed (cutover reached)
+MIGRATIONS_COUNTER = "reshard.migrations"
+#: per-migration stream duration, ns
+MIGRATION_NS_COUNTER = "reshard.migration_ns"
+#: row-split advisories emitted by the planner
+ADVISORIES_COUNTER = "reshard.advisories"
+#: profiler span category of migration extents
+SPAN_CATEGORY = "reshard"
+
+
+class ReshardExecutor:
+    """Background migration streams with reserve-then-cutover semantics."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        plan: TableWiseSharding,
+        spec: Optional[ReshardSpec] = None,
+        *,
+        weight_buffers: Optional[Dict[str, Buffer]] = None,
+    ):
+        """``weight_buffers`` optionally maps table name → the owner's
+        current weight :class:`~repro.simgpu.memory.Buffer`; when given,
+        cutover frees the old owner's buffer so migrated capacity is
+        actually returned to its pool (standalone/test use may omit it,
+        leaving the stale copy accounted)."""
+        self.cluster = cluster
+        self.table_plan = plan
+        self.spec = spec or ReshardSpec()
+        self._cfg = {cfg.name: cfg for cfg in plan.table_configs}
+        self._weight_buffers = weight_buffers
+        self._dst_buffers: Dict[str, Buffer] = {}
+        self._procs: List[object] = []
+        self.in_flight: set = set()
+        self.completed: List[TableMove] = []
+        self.bytes_streamed = 0
+
+    def submit(
+        self,
+        plan: MigrationPlan,
+        on_cutover: Callable[[TableMove], None],
+    ) -> List[TableMove]:
+        """Start one background stream per move; returns the moves begun.
+
+        Destination buffers are reserved immediately; a move whose
+        destination pool cannot hold the table is skipped (the planner
+        checks capacity too, but foreground allocations may have landed
+        since it looked).  ``on_cutover(move)`` runs on the engine clock
+        the instant a table's last chunk arrives — that is the only
+        point where serving ownership may change.
+        """
+        engine = self.cluster.engine
+        started: List[TableMove] = []
+        for move in plan.moves:
+            if move.table_name in self.in_flight:
+                raise ValueError(f"table {move.table_name!r} is already migrating")
+            cfg = self._cfg[move.table_name]
+            try:
+                self._dst_buffers[move.table_name] = self.cluster.device(
+                    move.dst
+                ).memory.alloc(
+                    (cfg.num_rows, cfg.dim),
+                    cfg.dtype,
+                    materialize=False,
+                    label=f"weights.{cfg.name}",
+                )
+            except OutOfDeviceMemory:
+                continue
+            self.in_flight.add(move.table_name)
+            proc = engine.process(
+                self._migrate_process(move, on_cutover),
+                name=f"reshard.migrate.{move.table_name}",
+            )
+            self._procs.append(proc)
+            started.append(move)
+        return started
+
+    def _migrate_process(
+        self, move: TableMove, on_cutover: Callable[[TableMove], None]
+    ):
+        """Engine process: one table's paced stream, then atomic cutover."""
+        engine = self.cluster.engine
+        share = self.spec.migration_bandwidth_share
+        t0 = engine.now
+        remaining = float(move.nbytes)
+        while remaining > 0:
+            size = min(float(self.spec.migration_chunk_bytes), remaining)
+            remaining -= size
+            c0 = engine.now
+            yield self.cluster.interconnect.transfer(
+                move.src, move.dst, size, counter=MIGRATION_BYTES_COUNTER
+            )
+            if share < 1.0:
+                # Pacing: after a chunk occupies the link for dt, idle long
+                # enough that this stream averages share * bandwidth.
+                pause = (engine.now - c0) * (1.0 / share - 1.0)
+                if pause > 0:
+                    yield engine.timeout(pause)
+        now = engine.now
+        prof = self.cluster.profiler
+        prof.record_span(
+            f"reshard.migrate.{move.table_name}.dev{move.src}->dev{move.dst}",
+            SPAN_CATEGORY,
+            move.src,
+            t0,
+            now,
+        )
+        prof.add_count(MIGRATIONS_COUNTER, now, 1.0, unit="migrations")
+        prof.add_count(MIGRATION_NS_COUNTER, now, now - t0, unit="ns")
+        self._cutover(move)
+        on_cutover(move)
+
+    def _cutover(self, move: TableMove) -> None:
+        """Retire the old owner's copy; the destination buffer takes over."""
+        self.in_flight.discard(move.table_name)
+        self.completed.append(move)
+        self.bytes_streamed += move.nbytes
+        dst_buf = self._dst_buffers.pop(move.table_name)
+        if self._weight_buffers is not None:
+            old = self._weight_buffers.get(move.table_name)
+            if old is not None and not old.freed:
+                self.cluster.device(old.device_id).memory.free(old)
+            self._weight_buffers[move.table_name] = dst_buf
+
+    @property
+    def migrating(self) -> bool:
+        """True while any migration stream is in flight."""
+        return bool(self.in_flight)
+
+    def wait_for_migrations(self, limit_ns: Optional[float] = None) -> None:
+        """Run the simulated clock forward until pending streams finish.
+
+        Migration processes outlive the batch whose planning round started
+        them; call this (e.g. at the end of a benchmark) to let them
+        drain.  No-op when nothing is migrating.
+        """
+        engine = self.cluster.engine
+        pending = [p for p in self._procs if not p.triggered]
+        if not pending:
+            return
+        engine.run_until_event(engine.all_of(pending), limit=limit_ns)
+
+    def totals(self) -> Dict[str, float]:
+        """Cross-run migration totals (Python-side ledger)."""
+        return {
+            "migrations_completed": float(len(self.completed)),
+            "migration_bytes": float(self.bytes_streamed),
+            "in_flight": float(len(self.in_flight)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ReshardExecutor in_flight={sorted(self.in_flight)} "
+            f"completed={len(self.completed)}>"
+        )

@@ -456,4 +456,40 @@ def compute_metrics(
                 "slowest down-edge -> replication-factor-restored latency",
             )
 
+    # Resharding (repro.reshard): counters only exist on runs where the
+    # planner adopted at least one migration plan, so balanced runs carry
+    # no reshard metrics at all.  Names are hardcoded, as above.
+    plans = profiler.counters.get("reshard.plans")
+    if plans is not None:
+        def reshard_total(name: str) -> float:
+            counter = profiler.counters.get(name)
+            return float(counter.total) if counter is not None else 0.0
+
+        reg.record(
+            "reshard.plans", float(plans.total), "plans",
+            "migration plans adopted by the skew-aware planner",
+        )
+        reg.record(
+            "reshard.moves", reshard_total("reshard.moves"), "moves",
+            "table moves submitted for background migration",
+        )
+        reg.record(
+            "reshard.migrations", reshard_total("reshard.migrations"),
+            "migrations", "table migrations completed (cutover reached)",
+        )
+        reg.record(
+            "reshard.migration_bytes", reshard_total("reshard.migration_bytes"),
+            "bytes", "migration bytes streamed over the interconnect",
+        )
+        reg.record(
+            "reshard.migration_ns", reshard_total("reshard.migration_ns"),
+            "ns", "summed per-migration stream durations",
+        )
+        advisories = profiler.counters.get("reshard.advisories")
+        if advisories is not None:
+            reg.record(
+                "reshard.advisories", float(advisories.total), "advisories",
+                "row-split advisories for tables too hot to balance table-wise",
+            )
+
     return reg

@@ -45,8 +45,9 @@ __all__ = [
 #: bump on any backwards-incompatible change to the report layout
 #: (2: added the ``compression`` counter section;
 #:  3: added the ``availability`` counter section;
-#:  4: added the ``critical_path`` section)
-SCHEMA_VERSION = 4
+#:  4: added the ``critical_path`` section;
+#:  5: added the ``reshard`` counter section)
+SCHEMA_VERSION = 5
 
 #: level counter stamped by :class:`repro.core.serving.InferenceServer`
 QUEUE_DEPTH_COUNTER = "serving.queue_depth"
@@ -103,6 +104,7 @@ class RunReport:
     cache: Dict[str, float] = field(default_factory=dict)
     compression: Dict[str, float] = field(default_factory=dict)
     availability: Dict[str, float] = field(default_factory=dict)
+    reshard: Dict[str, float] = field(default_factory=dict)
     critical_path: Dict[str, Any] = field(default_factory=dict)
     serving: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
@@ -133,6 +135,7 @@ class RunReport:
                 "cache": self.cache,
                 "compression": self.compression,
                 "availability": self.availability,
+                "reshard": self.reshard,
                 "critical_path": self.critical_path,
                 "serving": self.serving,
                 "faults": self.faults,
@@ -160,6 +163,7 @@ class RunReport:
             cache=dict(data.get("cache", {})),
             compression=dict(data.get("compression", {})),
             availability=dict(data.get("availability", {})),
+            reshard=dict(data.get("reshard", {})),
             critical_path=dict(data.get("critical_path", {})),
             serving=dict(data.get("serving", {})),
             faults=dict(data.get("faults", {})),
@@ -185,6 +189,7 @@ _SCHEMA: Dict[str, tuple] = {
     "cache": (False, (dict,)),
     "compression": (False, (dict,)),
     "availability": (False, (dict,)),
+    "reshard": (False, (dict,)),
     "critical_path": (False, (dict,)),
     "serving": (False, (dict,)),
     "faults": (False, (dict,)),
@@ -224,7 +229,7 @@ def validate_report(data: Any) -> None:
             payload["value"], (int, float)
         ):
             raise ReportValidationError(f"metric {name!r} value must be a number")
-    for key in ("timing", "cache", "compression", "availability"):
+    for key in ("timing", "cache", "compression", "availability", "reshard"):
         for name, value in data.get(key, {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ReportValidationError(f"{key}[{name!r}] must be a number")
@@ -335,6 +340,7 @@ def collect_run_report(
         cache=_counter_totals(profiler, "cache."),
         compression=_counter_totals(profiler, "compress."),
         availability=_counter_totals(profiler, "availability."),
+        reshard=_counter_totals(profiler, "reshard."),
         critical_path=critical_path_report(profiler) if profiler.spans else {},
         serving=to_dict(serving),
         faults=faults,

@@ -1,0 +1,172 @@
+"""Backend factory: name parsing, FeatureSpec, build_backend over every
+registered backend, and the legacy-kwarg deprecation path."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.compress import CompressionSpec
+from repro.core.factory import (
+    CANONICAL_FEATURE_ORDER,
+    FeatureSpec,
+    build_adapter,
+    build_backend,
+    parse_backend_name,
+)
+from repro.core.retrieval import DistributedEmbedding, available_backends
+from repro.core.runspec import RunSpec
+from repro.dlrm.data import WorkloadConfig
+from repro.faults import ResilienceSpec
+from repro.replication import ReplicationSpec
+from repro.reshard import ReshardSpec
+
+
+def small_cfg(**kw):
+    defaults = dict(
+        num_tables=4, rows_per_table=256, dim=8, batch_size=32,
+        max_pooling=2, seed=9,
+    )
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+#: RunSpec kwarg carrying each feature suffix's config
+FEATURE_CONFIGS = {
+    "cache": ("cache", CacheConfig()),
+    "compress": ("compression", CompressionSpec()),
+    "resilient": ("resilience", ResilienceSpec()),
+    "replicated": ("replication", ReplicationSpec()),
+    "reshard": ("reshard", ReshardSpec()),
+}
+
+
+def runspec_for(backend: str) -> RunSpec:
+    kwargs = {}
+    for suffix, (kwarg, config) in FEATURE_CONFIGS.items():
+        if f"+{suffix}" in backend:
+            kwargs[kwarg] = config
+    return RunSpec(small_cfg(), n_devices=2, backend=backend, **kwargs)
+
+
+class TestParseBackendName:
+    def test_bare_and_single_feature(self):
+        assert parse_backend_name("pgas") == ("pgas", ())
+        assert parse_backend_name("pgas+cache") == ("pgas", ("cache",))
+        assert parse_backend_name("baseline+reshard") == (
+            "baseline", ("reshard",)
+        )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            parse_backend_name("")
+
+    def test_empty_segment_names_the_stack(self):
+        with pytest.raises(ValueError, match=r"'pgas\+'"):
+            parse_backend_name("pgas+")
+        with pytest.raises(ValueError, match="empty base or feature"):
+            parse_backend_name("+cache")
+
+    def test_unknown_feature_names_stack_and_known_set(self):
+        with pytest.raises(ValueError) as exc:
+            parse_backend_name("pgas+turbo")
+        msg = str(exc.value)
+        assert "pgas+turbo" in msg and "'turbo'" in msg
+        for feature in CANONICAL_FEATURE_ORDER:
+            assert feature in msg
+
+    def test_duplicate_feature_names_the_stack(self):
+        with pytest.raises(ValueError, match="duplicate feature"):
+            parse_backend_name("pgas+cache+cache")
+
+    def test_multi_feature_stack_names_order(self):
+        with pytest.raises(ValueError) as exc:
+            parse_backend_name("pgas+cache+reshard")
+        msg = str(exc.value)
+        assert "pgas+cache+reshard" in msg
+        assert " -> ".join(CANONICAL_FEATURE_ORDER) in msg
+
+
+class TestFeatureSpec:
+    def test_frozen_and_default_empty(self):
+        spec = FeatureSpec()
+        assert spec.configured() == ()
+        with pytest.raises(Exception):
+            spec.cache = CacheConfig()  # type: ignore[misc]
+
+    def test_configured_lists_set_fields_in_order(self):
+        spec = FeatureSpec(reshard=ReshardSpec(), cache=CacheConfig())
+        assert spec.configured() == ("cache", "reshard")
+
+
+class TestBuildBackend:
+    @pytest.mark.parametrize(
+        "backend", [str(b) for b in available_backends()]
+    )
+    def test_every_registered_backend_builds(self, backend):
+        emb = build_backend(runspec_for(backend))
+        adapter = emb.backend_adapter()
+        assert adapter is emb.backend_adapter()  # cached, built eagerly
+
+    def test_override_backend_for_ab_runs(self):
+        spec = runspec_for("pgas")
+        emb = build_backend(spec, backend="baseline")
+        assert emb.backend == "baseline"
+
+    def test_bad_stack_fails_at_build_not_first_forward(self):
+        spec = RunSpec(small_cfg(), n_devices=2, backend="pgas")
+        with pytest.raises(ValueError, match="pgas\\+cache\\+reshard"):
+            build_backend(spec, backend="pgas+cache+reshard")
+
+    def test_adapter_matches_thin_alias_registration(self):
+        """The registry factories and build_adapter are the same code
+        path: both produce the same adapter type for the same name."""
+        emb = build_backend(runspec_for("pgas+reshard"))
+        direct = build_adapter(emb, "pgas+reshard")
+        assert type(direct) is type(emb.backend_adapter())
+
+
+class TestDeprecatedKwargs:
+    def test_legacy_kwarg_warns_once_and_still_works(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            emb = DistributedEmbedding(
+                small_cfg(), 2, backend="pgas+cache", cache=CacheConfig()
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "features=FeatureSpec" in str(deprecations[0].message)
+        assert isinstance(emb.features.cache, CacheConfig)
+        assert emb.backend_adapter() is not None
+
+    def test_features_path_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DistributedEmbedding(
+                small_cfg(), 2, backend="pgas+cache",
+                features=FeatureSpec(cache=CacheConfig()),
+            )
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_mixing_features_and_legacy_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="deprecated keyword"):
+            DistributedEmbedding(
+                small_cfg(), 2, backend="pgas+cache",
+                features=FeatureSpec(cache=CacheConfig()),
+                cache=CacheConfig(),
+            )
+
+    def test_config_accessors_read_from_features(self):
+        spec = FeatureSpec(reshard=ReshardSpec(), replication=ReplicationSpec())
+        emb = DistributedEmbedding(
+            small_cfg(), 2, backend="pgas+reshard", features=spec,
+        )
+        assert emb.reshard_config is spec.reshard
+        assert emb.replication_config is spec.replication
+        assert emb.cache_config is None

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro",
     "repro.core",
     "repro.cache",
+    "repro.reshard",
     "repro.simgpu",
     "repro.comm",
     "repro.dlrm",
@@ -56,6 +57,53 @@ class TestPublicClassMethods:
                 if name.startswith("_"):
                     continue
                 assert member.__doc__, f"{cls.__name__}.{name} lacks a docstring"
+
+
+class TestReshardSurface:
+    """Pin the resharding package's exports and the factory surface the
+    API redesign introduced — additions are fine, silent removals break
+    downstream code."""
+
+    def test_reshard_all_pinned(self):
+        import repro.reshard as reshard
+
+        assert set(reshard.__all__) >= {
+            "LoadTracker",
+            "MigrationPlan",
+            "ReshardExecutor",
+            "ReshardPlanner",
+            "ReshardRetrieval",
+            "ReshardSpec",
+            "RowSplitAdvisory",
+            "TableMove",
+            "reshard_retrieval_for",
+        }
+
+    def test_core_factory_surface(self):
+        from repro.core import (  # noqa: F401
+            CANONICAL_FEATURE_ORDER,
+            FeatureSpec,
+            build_backend,
+            parse_backend_name,
+        )
+
+        assert len(CANONICAL_FEATURE_ORDER) == 5
+
+    def test_distributed_embedding_takes_features(self):
+        from repro.core import DistributedEmbedding
+
+        sig = inspect.signature(DistributedEmbedding.__init__)
+        assert "features" in sig.parameters
+        # The deprecated per-feature kwargs stay for one release.
+        for legacy in ("cache", "resilience", "compression",
+                       "replication", "obs"):
+            assert legacy in sig.parameters
+
+    def test_top_level_reexports(self):
+        for name in ("FeatureSpec", "build_backend", "ReshardRetrieval",
+                     "ReshardSpec"):
+            assert hasattr(repro, name)
+            assert name in repro.__all__
 
 
 class TestVersioning:
