@@ -23,6 +23,9 @@ Packages
 :mod:`repro.reshard`
     Skew-aware online resharding: traffic tracking, migration planning,
     paced shard streaming — the ``"+reshard"`` backends.
+:mod:`repro.hier`
+    Topology-aware hierarchical communication: two-level all-to-all and
+    node-leader PGAS staging — the ``"+hier"`` backends.
 :mod:`repro.dlrm`
     Numpy DLRM: embedding tables, jagged batches, MLPs, interaction,
     synthetic data.
@@ -97,6 +100,10 @@ from .replication import ReplicatedRetrieval, ReplicationSpec
 # core and replication (migration streaming reuses the paced-transfer idiom).
 from . import reshard
 from .reshard import ReshardRetrieval, ReshardSpec
+
+# Importing repro.hier registers the "+hier" backends; keep it after core.
+from . import hier
+from .hier import HierRetrieval, HierSpec
 from .dlrm import (
     DLRM,
     DLRMConfig,
@@ -138,6 +145,8 @@ __all__ = [
     "FaultPlan",
     "FeatureSpec",
     "ForwardResult",
+    "HierRetrieval",
+    "HierSpec",
     "JaggedField",
     "MetricsRegistry",
     "PGASFusedRetrieval",
@@ -171,6 +180,7 @@ __all__ = [
     "dgx_v100",
     "dlrm",
     "faults",
+    "hier",
     "obs",
     "replication",
     "reshard",

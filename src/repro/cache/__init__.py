@@ -18,7 +18,7 @@ Importing this package registers the ``"pgas+cache"`` and
 ``"baseline+cache"`` backends with the core registry, so
 
 >>> emb = DistributedEmbedding(cfg, n_devices=2, backend="pgas+cache",
-...                            cache=CacheConfig(policy="lru"))
+...                            features=FeatureSpec(cache=CacheConfig(policy="lru")))
 
 works exactly like the uncached backends (``repro`` imports it for you).
 """

@@ -12,6 +12,7 @@ Commands
 ``compsweep``   codec x backend wire/time/error grid + BENCH_compression.json
 ``chaossweep``  availability/goodput vs replication k x failures + BENCH_availability.json
 ``skewsweep``   online resharding vs static placement under skew + BENCH_reshard.json
+``hiersweep``   flat vs hierarchical routing across node geometries + BENCH_hier.json
 ``critpath``    traced critical-path attribution + BENCH_critpath.json (and
                 an optional regression gate against a committed baseline)
 ``backends``    list the registered backends with their capability flags
@@ -210,6 +211,28 @@ def build_parser() -> argparse.ArgumentParser:
     sk.add_argument("--seed", type=int, default=None,
                     help="workload seed override (default: preset's)")
     sk.add_argument("--output", default="BENCH_reshard.json",
+                    help="machine-readable artifact path ('' to skip)")
+
+    hs = sub.add_parser("hiersweep",
+                        help="flat vs hierarchical routing sweep + "
+                             "BENCH_hier.json")
+    hs.add_argument("--preset", choices=PRESETS, default="tiny",
+                    help="workload preset (resolved via preset_runspec)")
+    hs.add_argument("--bases", nargs="+", default=["pgas", "baseline"],
+                    help="base backends to route (pgas / baseline)")
+    hs.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 3],
+                    help="simulated node counts")
+    hs.add_argument("--gpus-per-node", type=int, nargs="+", default=[1, 2, 4],
+                    help="simulated GPUs per node")
+    hs.add_argument("--message-bytes", type=int, nargs="+",
+                    default=[32, 256, 4096],
+                    help="PGAS message size / collective chunk size per point")
+    hs.add_argument("--batches", type=int, default=2, help="batches per point")
+    hs.add_argument("--scale", type=float, default=1.0,
+                    help="batch-size scale factor (1.0 = preset size)")
+    hs.add_argument("--seed", type=int, default=None,
+                    help="workload seed override (default: preset's)")
+    hs.add_argument("--output", default="BENCH_hier.json",
                     help="machine-readable artifact path ('' to skip)")
 
     cr = sub.add_parser("critpath",
@@ -507,6 +530,31 @@ def _cmd_skewsweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hiersweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench.hiersweep import run_hiersweep, validate_hiersweep_json
+
+    sweep = run_hiersweep(
+        args.preset,
+        bases=args.bases,
+        nodes=args.nodes,
+        devices_per_node=args.gpus_per_node,
+        message_sizes=args.message_bytes,
+        n_batches=args.batches,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    print(sweep.render())
+    if args.output:
+        sweep.write_json(args.output)
+        # Self-check: the artifact we just wrote must round-trip the schema.
+        with open(args.output) as fh:
+            validate_hiersweep_json(json.load(fh))
+        print(f"wrote {args.output} (schema-valid, {len(sweep.points)} points)")
+    return 0
+
+
 def _cmd_critpath(args: argparse.Namespace) -> int:
     import json
 
@@ -559,6 +607,8 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             flags.append("replication")
         if info.resharded:
             flags.append("reshard")
+        if info.hierarchical:
+            flags.append("hier")
         if info.requires_indices:
             flags.append("indices")
         if info.traceable:
@@ -633,6 +683,7 @@ _COMMANDS = {
     "compsweep": _cmd_compsweep,
     "chaossweep": _cmd_chaossweep,
     "skewsweep": _cmd_skewsweep,
+    "hiersweep": _cmd_hiersweep,
     "critpath": _cmd_critpath,
     "backends": _cmd_backends,
     "plan": _cmd_plan,

@@ -24,7 +24,7 @@ Importing this package registers the ``"pgas+compress"`` and
 ``"baseline+compress"`` backends with the core registry, so
 
 >>> emb = DistributedEmbedding(cfg, n_devices=2, backend="pgas+compress",
-...                            compression=CompressionSpec(codec="int8"))
+...                            features=FeatureSpec(compression=CompressionSpec(codec="int8")))
 
 works exactly like the uncompressed backends (``repro`` imports it for
 you).

@@ -25,9 +25,12 @@ chunked transfers, producing the baseline curves of Figs. 6/7/9/10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm.hier import HierSpec
 
 from ..comm.collective import CollectiveContext, CollectiveSpec
 from ..simgpu.cluster import Cluster
@@ -74,19 +77,37 @@ class PhaseTiming:
 
 
 class BaselineRetrieval:
-    """Timed EMB forward using collective communication (the baseline)."""
+    """Timed EMB forward using collective communication (the baseline).
+
+    With ``hier_spec`` set (and active for this device count), the
+    all-to-all runs through the two-level
+    :class:`~repro.comm.hier.TwoLevelAllToAll` — intra-node gather to a
+    node leader, one coalesced NIC transfer per ordered node pair, scatter
+    on the far side.  An inactive spec (``devices_per_node == 1`` or a
+    single node) leaves the flat collective in place, event-identical.
+    """
 
     def __init__(
         self,
         cluster: Cluster,
         collective_spec: Optional[CollectiveSpec] = None,
         unpack_bandwidth: float = UNPACK_BANDWIDTH,
+        hier_spec: Optional["HierSpec"] = None,
     ):
         if unpack_bandwidth <= 0:
             raise ValueError("unpack_bandwidth must be positive")
         self.cluster = cluster
         self.collectives = CollectiveContext(cluster, collective_spec)
         self.unpack_bandwidth = unpack_bandwidth
+        self._hier = None
+        if hier_spec is not None:
+            hier_spec.validate_for(cluster.n_devices)
+            if hier_spec.active(cluster.n_devices):
+                from ..comm.hier import TwoLevelAllToAll
+
+                self._hier = TwoLevelAllToAll(
+                    cluster, self.collectives.spec, hier_spec
+                )
 
     # -- single batch -----------------------------------------------------------
 
@@ -152,7 +173,10 @@ class BaselineRetrieval:
 
         # ---- Phase 2: all-to-all ---------------------------------------------------
         split = alltoall_split_bytes(workloads)
-        handle = self.collectives.all_to_all_single(split)
+        if self._hier is not None:
+            handle = self._hier.all_to_all_single(split)
+        else:
+            handle = self.collectives.all_to_all_single(split)
         yield from handle.wait()
         t2 = engine.now
         # Pure transfer window, paper-style: subtract control path + wait.

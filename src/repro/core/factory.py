@@ -9,7 +9,8 @@ single place that knows how a backend name decomposes and how the
 feature wrappers attach:
 
 * :class:`FeatureSpec` — the one bag of per-feature configs
-  (cache / resilience / compression / replication / reshard / obs) that
+  (cache / resilience / compression / replication / reshard / hier /
+  obs) that
   :class:`~repro.core.retrieval.DistributedEmbedding` now takes as its
   ``features=`` keyword;
 * :func:`parse_backend_name` — splits ``"<base>+<feature>"`` names and
@@ -48,6 +49,7 @@ __all__ = [
 #: communication strategy) first.  Single-feature stacks are unaffected;
 #: any explicitly registered composed backend must wrap in this order.
 CANONICAL_FEATURE_ORDER: Tuple[str, ...] = (
+    "hier",
     "cache",
     "compress",
     "resilient",
@@ -59,6 +61,7 @@ CANONICAL_FEATURE_ORDER: Tuple[str, ...] = (
 #: module import is deferred to adapter build time so ``repro.core`` never
 #: imports the feature packages (they import *it* to register themselves).
 _FEATURE_BUILDERS: Dict[str, Tuple[str, str]] = {
+    "hier": ("repro.hier", "hier_retrieval_for"),
     "cache": ("repro.cache", "cached_retrieval_for"),
     "compress": ("repro.compress", "compressed_retrieval_for"),
     "resilient": ("repro.faults", "resilient_retrieval_for"),
@@ -90,6 +93,10 @@ class FeatureSpec:
         :class:`repro.replication.ReplicationSpec` for ``"+replicated"``.
     reshard:
         :class:`repro.reshard.ReshardSpec` for ``"+reshard"``.
+    hier:
+        :class:`repro.comm.hier.HierSpec` for the ``"+hier"`` backends
+        (topology-aware hierarchical routing: node geometry, staging
+        flush policy, coalesced NIC framing).
     obs:
         :class:`repro.obs.TraceSpec`; enables trace-context propagation
         for every backend (None or disabled stays bit-identical).
@@ -100,6 +107,7 @@ class FeatureSpec:
     compression: Optional[object] = None
     replication: Optional[object] = None
     reshard: Optional[object] = None
+    hier: Optional[object] = None
     obs: Optional[object] = None
 
     def configured(self) -> Tuple[str, ...]:
@@ -193,6 +201,7 @@ def build_backend(
         compression=runspec.compression,
         replication=runspec.replication,
         reshard=runspec.reshard,
+        hier=runspec.hier,
         obs=runspec.obs,
     )
     kwargs = dict(

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm.hier import HierSpec
     from .aggregator import AggregatorSpec
 
 from ..comm.pgas import PGASContext, PGASSpec
@@ -48,6 +49,14 @@ class PGASFusedRetrieval:
     :class:`~repro.core.aggregator.AsyncAggregator` instead of leaving as
     individual small messages — the multi-node variant
     (``aggregator.store(outputs[output_idx], sum, pe)``).
+
+    With ``hier_spec`` set (and active for this device count), *off-node*
+    writes instead route through the hierarchical
+    :class:`~repro.comm.hier.NodeStagingRouter`: forwarded to the node
+    leader over the fast fabric, staged per destination node, and crossed
+    over the NIC as one coalesced message stream per node pair.  Same-node
+    remote writes keep their direct path (aggregator or plain put).  An
+    inactive spec leaves every write on the flat path, event-identical.
     """
 
     def __init__(
@@ -56,6 +65,7 @@ class PGASFusedRetrieval:
         pgas_spec: Optional[PGASSpec] = None,
         remote_write_drag: float = REMOTE_WRITE_KERNEL_DRAG,
         aggregator_spec: Optional["AggregatorSpec"] = None,
+        hier_spec: Optional["HierSpec"] = None,
     ):
         if remote_write_drag < 0:
             raise ValueError("remote_write_drag must be non-negative")
@@ -67,6 +77,13 @@ class PGASFusedRetrieval:
             from .aggregator import AsyncAggregator
 
             self.aggregator = AsyncAggregator(self.pgas, aggregator_spec)
+        self.router = None
+        if hier_spec is not None:
+            hier_spec.validate_for(cluster.n_devices)
+            if hier_spec.active(cluster.n_devices):
+                from ..comm.hier import NodeStagingRouter
+
+                self.router = NodeStagingRouter(self.pgas, hier_spec)
 
     # -- single batch ---------------------------------------------------------------
 
@@ -103,6 +120,47 @@ class PGASFusedRetrieval:
         wire = wire_bytes(wl.remote_output_bytes, spec.message_bytes, spec.header_bytes)
         return self.remote_write_drag * wire / link_bandwidth
 
+    def _effective_link_bandwidth(self, wl: DeviceWorkload) -> Optional[float]:
+        """Traffic-weighted first-hop bandwidth for the drag model.
+
+        Each destination's bytes leave the kernel over that destination's
+        *first hop*: the direct link normally, the fast-fabric hop to the
+        node leader when the hierarchical router stages the write off-node
+        (a leader's own staged writes start as local buffer appends — no
+        first-hop wire drag).  Weighting by ``wl.output_bytes_by_dst``
+        (harmonic mean over destinations) replaces the old arbitrary-peer
+        sample, which mispriced the drag on heterogeneous multinode
+        fabrics — an NVLink neighbour masked the NIC cost or vice versa.
+        On a homogeneous fabric every destination shares one bandwidth
+        and that value is returned exactly (no floating-point drift).
+        """
+        topology = self.cluster.topology
+        by_dst = wl.output_bytes_by_dst
+        dev_id = wl.device_id
+        hier = self.router.hier if self.router is not None else None
+        shares: List[tuple] = []
+        for dst in range(self.cluster.n_devices):
+            if dst == dev_id:
+                continue
+            nbytes = float(by_dst[dst])
+            if nbytes <= 0:
+                continue
+            if hier is not None and not hier.same_node(dev_id, dst):
+                leader = hier.leader_of(hier.node_of(dev_id))
+                if dev_id == leader:
+                    continue
+                bw = topology.link_spec(dev_id, leader).bandwidth
+            else:
+                bw = topology.link_spec(dev_id, dst).bandwidth
+            shares.append((nbytes, bw))
+        if not shares:
+            return None
+        first_bw = shares[0][1]
+        if all(bw == first_bw for _, bw in shares):
+            return first_bw
+        total = sum(nbytes for nbytes, _ in shares)
+        return total / sum(nbytes / bw for nbytes, bw in shares)
+
     def batch_process(
         self,
         cluster: Cluster,
@@ -124,14 +182,10 @@ class PGASFusedRetrieval:
         ops = []
         for dev, wl in zip(cluster.devices, workloads):
             waves_dst = wl.wave_dst_bytes(dev.spec.concurrent_blocks)
-            # Link bandwidth toward an arbitrary peer (homogeneous fabric);
-            # used only for the drag model.
-            if G > 1:
-                peer = (dev.id + 1) % G
-                link_bw = cluster.topology.link_spec(dev.id, peer).bandwidth
-                drag = self._kernel_drag_ns(wl, link_bw)
-            else:
-                drag = 0.0
+            # Traffic-weighted first-hop bandwidth; used only for the drag
+            # model (zero-traffic devices pay no drag).
+            link_bw = self._effective_link_bandwidth(wl) if G > 1 else None
+            drag = self._kernel_drag_ns(wl, link_bw) if link_bw is not None else 0.0
             base = wl.kernel_spec("pgas_fused_emb")
             kspec = type(base)(
                 name=base.name,
@@ -154,7 +208,11 @@ class PGASFusedRetrieval:
                     payload = float(wdst[info.index, dst])
                     if payload <= 0:
                         continue
-                    if self.aggregator is not None:
+                    if self.router is not None and not self.router.hier.same_node(
+                        dev_id, dst
+                    ):
+                        self.router.put(dev_id, dst, payload)
+                    elif self.aggregator is not None:
                         self.aggregator.store(dev_id, dst, payload)
                     else:
                         self.pgas.put(dev_id, dst, payload)
@@ -170,8 +228,10 @@ class PGASFusedRetrieval:
 
         yield engine.all_of([op.done for op in ops])
 
-        # Multi-node variant: push any residual aggregation buffers out
-        # before quiescing (the kernel-end flush of ref [7]).
+        # Multi-node variant: push any residual aggregation/staging buffers
+        # out before quiescing (the kernel-end flush of ref [7]).
+        if self.router is not None:
+            self.router.flush_all()
         if self.aggregator is not None:
             self.aggregator.flush_all()
 

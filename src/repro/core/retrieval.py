@@ -45,6 +45,11 @@ layered on top of it.  Consumers dispatch on the suffix:
   balancer: observed per-table traffic drives background table
   migrations with serve-from-old-owner cutover, configured by a
   :class:`repro.reshard.ReshardSpec`.
+* ``"+hier"`` marks a backend with topology-aware hierarchical routing:
+  cross-node traffic stages intra-node to a leader and crosses the NIC
+  as one coalesced stream per node pair, configured by a
+  :class:`repro.comm.hier.HierSpec` (routing changes timing only —
+  functional outputs stay bit-identical to the flat backend).
 * A bare base name is the plain timed retrieval.
 
 Code that needs the base strategy (e.g. to pick the functional forward)
@@ -78,7 +83,6 @@ Example
 from __future__ import annotations
 
 import contextlib
-import warnings
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -229,6 +233,11 @@ class BackendInfo(str):
     def resharded(self) -> bool:
         """True for ``"+reshard"`` backends (skew-aware online migration)."""
         return "+reshard" in self
+
+    @property
+    def hierarchical(self) -> bool:
+        """True for ``"+hier"`` backends (node-leader staged routing)."""
+        return "+hier" in self
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<BackendInfo {str(self)!r}: {self.description}>"
@@ -403,56 +412,25 @@ class DistributedEmbedding:
         collective_spec: Optional[CollectiveSpec] = None,
         pgas_spec: Optional[PGASSpec] = None,
         features: Optional[FeatureSpec] = None,
-        cache: Optional[object] = None,
-        resilience: Optional[object] = None,
-        compression: Optional[object] = None,
-        replication: Optional[object] = None,
-        obs: Optional[object] = None,
         rng: Optional[np.random.Generator] = None,
     ):
         """``features`` is the :class:`~repro.core.factory.FeatureSpec`
         bundling every per-feature config: ``cache`` for the ``"+cache"``
         backends, ``resilience`` for ``"+resilient"``, ``compression``
         for ``"+compress"``, ``replication`` for ``"+replicated"``,
-        ``reshard`` for ``"+reshard"`` (each ignored by the other
-        backends), and ``obs`` — a :class:`repro.obs.TraceSpec` enabling
-        trace-context propagation for any backend (None or
-        ``enabled=False`` keeps every backend bit-identical to an
-        untraced run).
+        ``reshard`` for ``"+reshard"``, ``hier`` for ``"+hier"`` (each
+        ignored by the other backends), and ``obs`` — a
+        :class:`repro.obs.TraceSpec` enabling trace-context propagation
+        for any backend (None or ``enabled=False`` keeps every backend
+        bit-identical to an untraced run).  It is the only way to pass
+        feature configs — the legacy per-feature keywords (``cache=``,
+        ``resilience=``, ``compression=``, ``replication=``, ``obs=``)
+        completed their deprecation cycle and were removed.
 
-        The individual ``cache=`` / ``resilience=`` / ``compression=`` /
-        ``replication=`` / ``obs=`` keywords are **deprecated** (one
-        release of grace): they fold into a ``FeatureSpec`` with a
-        ``DeprecationWarning``, and combining them with ``features=``
-        raises."""
+        For a ``"+hier"`` backend with a configured node geometry and no
+        explicit ``cluster``, a matching multi-node cluster (NVLink
+        within nodes, NIC across) is built automatically."""
         backend_spec(backend)  # unknown names raise here
-        legacy = {
-            key: value
-            for key, value in (
-                ("cache", cache),
-                ("resilience", resilience),
-                ("compression", compression),
-                ("replication", replication),
-                ("obs", obs),
-            )
-            if value is not None
-        }
-        if legacy:
-            if features is not None:
-                raise ValueError(
-                    f"pass feature configs via features=FeatureSpec(...) only; "
-                    f"got features= together with deprecated keyword(s) "
-                    f"{', '.join(sorted(legacy))}"
-                )
-            warnings.warn(
-                f"the DistributedEmbedding keyword(s) "
-                f"{', '.join(sorted(legacy))} are deprecated; pass "
-                f"features=FeatureSpec({', '.join(f'{k}=...' for k in sorted(legacy))}) "
-                f"instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            features = FeatureSpec(**legacy)
         self.features: FeatureSpec = features or FeatureSpec()
         if self.features.obs is not None:
             from ..obs import TraceSpec
@@ -467,6 +445,22 @@ class DistributedEmbedding:
         else:
             table_configs = list(tables)
         self.backend: BackendName = backend
+        if cluster is None and "+hier" in backend and self.features.hier is not None:
+            from ..comm.hier import HierSpec
+
+            hier = self.features.hier
+            if not isinstance(hier, HierSpec):
+                raise TypeError(
+                    f"hier must be a repro.comm.hier.HierSpec, "
+                    f"got {type(hier).__name__}"
+                )
+            hier.validate_for(n_devices)
+            if hier.devices_per_node > 1:
+                from ..simgpu.cluster import multinode
+
+                cluster = multinode(
+                    n_devices // hier.devices_per_node, hier.devices_per_node
+                )
         self.cluster = cluster or dgx_v100(n_devices)
         if self.cluster.n_devices != n_devices:
             raise ValueError(
@@ -515,6 +509,7 @@ class DistributedEmbedding:
                 compression=spec.compression,
                 replication=spec.replication,
                 reshard=spec.reshard,
+                hier=spec.hier,
                 obs=spec.obs,
             ),
         )
@@ -552,6 +547,11 @@ class DistributedEmbedding:
     def reshard_config(self) -> Optional[object]:
         """The ``features.reshard`` section."""
         return self.features.reshard
+
+    @property
+    def hier_config(self) -> Optional[object]:
+        """The ``features.hier`` section."""
+        return self.features.hier
 
     @property
     def obs_config(self) -> Optional[object]:

@@ -67,6 +67,7 @@ class RunSpec:
     compression: Optional[object] = None  #: repro.compress.CompressionSpec
     replication: Optional[object] = None  #: repro.replication.ReplicationSpec
     reshard: Optional[object] = None  #: repro.reshard.ReshardSpec
+    hier: Optional[object] = None  #: repro.comm.hier.HierSpec
     obs: Optional[object] = None  #: repro.obs.TraceSpec
     serving: Optional[ServingSpec] = None
     scheduler: Optional[SchedulerSpec] = None  #: overrides serving.scheduler
@@ -138,6 +139,14 @@ class RunSpec:
                     f"RunSpec.reshard must be a repro.reshard.ReshardSpec, "
                     f"got {type(self.reshard).__name__}"
                 )
+        if self.hier is not None:
+            from ..comm.hier import HierSpec  # lazy: avoid import cycle
+
+            if not isinstance(self.hier, HierSpec):
+                raise TypeError(
+                    f"RunSpec.hier must be a repro.comm.hier.HierSpec, "
+                    f"got {type(self.hier).__name__}"
+                )
         if self.obs is not None:
             from ..obs import TraceSpec  # lazy: avoid import cycle
 
@@ -198,6 +207,7 @@ class RunSpec:
                 dataclasses.asdict(self.replication) if self.replication else None
             ),
             "reshard": dataclasses.asdict(self.reshard) if self.reshard else None,
+            "hier": dataclasses.asdict(self.hier) if self.hier else None,
             "obs": dataclasses.asdict(self.obs) if self.obs else None,
             "serving": dataclasses.asdict(self.serving) if self.serving else None,
             "scheduler": (
@@ -213,7 +223,7 @@ class RunSpec:
         known = {
             "name", "n_devices", "backend", "workload", "model",
             "cache", "resilience", "compression", "replication",
-            "reshard", "obs", "serving", "scheduler",
+            "reshard", "hier", "obs", "serving", "scheduler",
         }
         unknown = set(data) - known
         if unknown:
@@ -221,6 +231,7 @@ class RunSpec:
         if "workload" not in data:
             raise ValueError("RunSpec payload needs a 'workload' section")
         from ..cache import CacheConfig  # lazy: avoid import cycle
+        from ..comm.hier import HierSpec
         from ..compress import CompressionSpec
         from ..faults import ResilienceSpec
         from ..obs import TraceSpec
@@ -260,6 +271,7 @@ class RunSpec:
                 ReplicationSpec, data.get("replication"), "replication"
             ),
             reshard=_build_optional(ReshardSpec, data.get("reshard"), "reshard"),
+            hier=_build_optional(HierSpec, data.get("hier"), "hier"),
             obs=_build_optional(TraceSpec, data.get("obs"), "obs"),
             serving=serving,
             scheduler=_build_optional(

@@ -22,7 +22,7 @@ Importing this package registers the ``"pgas+resilient"`` and
 ``"baseline+resilient"`` backends with the core registry, so
 
 >>> emb = DistributedEmbedding(cfg, n_devices=4, backend="pgas+resilient",
-...                            resilience=ResilienceSpec(deadline_ns=2 * ms))
+...                            features=FeatureSpec(resilience=ResilienceSpec(deadline_ns=2 * ms)))
 
 works exactly like the base backends (``repro`` imports it for you).
 With an empty plan and no deadline the wrapper is a zero-overhead

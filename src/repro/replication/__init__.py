@@ -23,7 +23,7 @@ Importing this package registers the ``"pgas+replicated"`` and
 ``"baseline+replicated"`` backends with the core registry, so
 
 >>> emb = DistributedEmbedding(cfg, n_devices=4, backend="pgas+replicated",
-...                            replication=ReplicationSpec(k=2))
+...                            features=FeatureSpec(replication=ReplicationSpec(k=2)))
 
 works exactly like the unreplicated backends (``repro`` imports it for
 you).

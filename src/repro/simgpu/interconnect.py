@@ -119,6 +119,7 @@ class Link:
         self.busy_time = 0.0
         self.bytes_carried = 0.0
         self.transfer_count = 0
+        self.messages_sent = 0
         self.bandwidth_scale = 1.0
         self.extra_latency_ns = 0.0
         self.down_until = float("-inf")
@@ -189,6 +190,7 @@ class Link:
         self.busy_time += busy
         self.bytes_carried += wire
         self.transfer_count += 1
+        self.messages_sent += n_messages
         ev = engine.event(f"xfer{self.src}->{self.dst}")
 
         def fire() -> None:

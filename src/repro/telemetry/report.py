@@ -46,8 +46,9 @@ __all__ = [
 #: (2: added the ``compression`` counter section;
 #:  3: added the ``availability`` counter section;
 #:  4: added the ``critical_path`` section;
-#:  5: added the ``reshard`` counter section)
-SCHEMA_VERSION = 5
+#:  5: added the ``reshard`` counter section;
+#:  6: added the ``hier`` counter section)
+SCHEMA_VERSION = 6
 
 #: level counter stamped by :class:`repro.core.serving.InferenceServer`
 QUEUE_DEPTH_COUNTER = "serving.queue_depth"
@@ -105,6 +106,7 @@ class RunReport:
     compression: Dict[str, float] = field(default_factory=dict)
     availability: Dict[str, float] = field(default_factory=dict)
     reshard: Dict[str, float] = field(default_factory=dict)
+    hier: Dict[str, float] = field(default_factory=dict)
     critical_path: Dict[str, Any] = field(default_factory=dict)
     serving: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
@@ -136,6 +138,7 @@ class RunReport:
                 "compression": self.compression,
                 "availability": self.availability,
                 "reshard": self.reshard,
+                "hier": self.hier,
                 "critical_path": self.critical_path,
                 "serving": self.serving,
                 "faults": self.faults,
@@ -164,6 +167,7 @@ class RunReport:
             compression=dict(data.get("compression", {})),
             availability=dict(data.get("availability", {})),
             reshard=dict(data.get("reshard", {})),
+            hier=dict(data.get("hier", {})),
             critical_path=dict(data.get("critical_path", {})),
             serving=dict(data.get("serving", {})),
             faults=dict(data.get("faults", {})),
@@ -190,6 +194,7 @@ _SCHEMA: Dict[str, tuple] = {
     "compression": (False, (dict,)),
     "availability": (False, (dict,)),
     "reshard": (False, (dict,)),
+    "hier": (False, (dict,)),
     "critical_path": (False, (dict,)),
     "serving": (False, (dict,)),
     "faults": (False, (dict,)),
@@ -229,7 +234,7 @@ def validate_report(data: Any) -> None:
             payload["value"], (int, float)
         ):
             raise ReportValidationError(f"metric {name!r} value must be a number")
-    for key in ("timing", "cache", "compression", "availability", "reshard"):
+    for key in ("timing", "cache", "compression", "availability", "reshard", "hier"):
         for name, value in data.get(key, {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 raise ReportValidationError(f"{key}[{name!r}] must be a number")
@@ -341,6 +346,7 @@ def collect_run_report(
         compression=_counter_totals(profiler, "compress."),
         availability=_counter_totals(profiler, "availability."),
         reshard=_counter_totals(profiler, "reshard."),
+        hier=_counter_totals(profiler, "hier."),
         critical_path=critical_path_report(profiler) if profiler.spans else {},
         serving=to_dict(serving),
         faults=faults,

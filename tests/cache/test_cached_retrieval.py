@@ -9,6 +9,7 @@ import pytest
 
 from repro.cache import CacheConfig, CachedRetrieval
 from repro.cache.retrieval import EVICT_COUNTER, HIT_COUNTER, MISS_COUNTER
+from repro.core.factory import FeatureSpec
 from repro.core.retrieval import DistributedEmbedding
 from repro.core.sharding import TableWiseSharding
 from repro.core.workload import build_device_workloads, lengths_from_batch
@@ -99,7 +100,9 @@ class TestHandComputedTrace:
 def make_emb(cfg, backend, *, seed=0, policy="lru", fraction=0.05):
     return DistributedEmbedding(
         cfg, 2, backend=backend, materialize=True,
-        cache=CacheConfig(capacity_fraction=fraction, policy=policy),
+        features=FeatureSpec(
+            cache=CacheConfig(capacity_fraction=fraction, policy=policy)
+        ),
         rng=np.random.default_rng(seed),
     )
 
@@ -130,7 +133,7 @@ class TestBitIdentity:
         embs = [
             DistributedEmbedding(
                 tables, 2, backend=b, materialize=True,
-                cache=CacheConfig(capacity_rows=16),
+                features=FeatureSpec(cache=CacheConfig(capacity_rows=16)),
                 rng=np.random.default_rng(11),
             )
             for b in ALL_BACKENDS
@@ -165,7 +168,8 @@ class TestZeroCapacityInvariant:
     def test_workloads_match_uncached_builder_bitwise(self):
         cfg = zipf_cfg(batch_size=128)
         emb = DistributedEmbedding(
-            cfg, 2, backend="pgas+cache", cache=CacheConfig(capacity_rows=0)
+            cfg, 2, backend="pgas+cache",
+            features=FeatureSpec(cache=CacheConfig(capacity_rows=0)),
         )
         batch = SyntheticDataGenerator(cfg).sparse_batch()
         cplan = emb.backend_adapter().plan_batch(batch)
@@ -181,7 +185,8 @@ class TestZeroCapacityInvariant:
         cfg = zipf_cfg(batch_size=128)
         batch = SyntheticDataGenerator(cfg).sparse_batch()
         cached = DistributedEmbedding(
-            cfg, 2, backend="pgas+cache", cache=CacheConfig(capacity_rows=0)
+            cfg, 2, backend="pgas+cache",
+            features=FeatureSpec(cache=CacheConfig(capacity_rows=0)),
         )
         plain = DistributedEmbedding(cfg, 2, backend="pgas")
         t_cached = cached.forward(batch).timing
@@ -261,7 +266,10 @@ class TestBackendContract:
 
     def test_wrong_cache_config_type_rejected(self):
         cfg = zipf_cfg(num_tables=4, batch_size=64)
-        emb = DistributedEmbedding(cfg, 2, backend="pgas+cache", cache={"rows": 4})
+        emb = DistributedEmbedding(
+            cfg, 2, backend="pgas+cache",
+            features=FeatureSpec(cache={"rows": 4}),
+        )
         with pytest.raises(TypeError):
             emb.backend_adapter()
 

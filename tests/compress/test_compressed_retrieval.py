@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import CompressionSpec, DistributedEmbedding, SyntheticDataGenerator, WorkloadConfig
+from repro import (
+    CompressionSpec,
+    DistributedEmbedding,
+    FeatureSpec,
+    SyntheticDataGenerator,
+    WorkloadConfig,
+)
 from repro.compress.retrieval import (
     DECODE_NS_COUNTER,
     ENCODE_NS_COUNTER,
@@ -29,7 +35,7 @@ def build(cfg, backend, codec=None, materialize=False, n_devices=2):
         cfg,
         n_devices,
         backend=backend,
-        compression=compression,
+        features=FeatureSpec(compression=compression),
         materialize=materialize,
         rng=np.random.default_rng(0),
     )
@@ -195,7 +201,9 @@ class TestFunctionalPath:
             CFG,
             2,
             backend="pgas+compress",
-            compression=CompressionSpec(codec="int4", error_bound=1e-12),
+            features=FeatureSpec(
+                compression=CompressionSpec(codec="int4", error_bound=1e-12)
+            ),
             materialize=True,
             rng=np.random.default_rng(0),
         )
@@ -237,7 +245,7 @@ class TestConstruction:
                 tables,
                 2,
                 backend="pgas+compress",
-                compression=CompressionSpec(codec="int8"),
+                features=FeatureSpec(compression=CompressionSpec(codec="int8")),
             ).backend_adapter("pgas+compress")
 
     def test_fp32_accepts_mixed_dims(self):

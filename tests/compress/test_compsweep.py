@@ -121,6 +121,7 @@ class TestTelemetryReport:
         from repro import (
             CompressionSpec,
             DistributedEmbedding,
+            FeatureSpec,
             SyntheticDataGenerator,
             WorkloadConfig,
         )
@@ -130,7 +131,7 @@ class TestTelemetryReport:
         )
         emb = DistributedEmbedding(
             cfg, 2, backend="pgas+compress",
-            compression=CompressionSpec(codec="int8"),
+            features=FeatureSpec(compression=CompressionSpec(codec="int8")),
             materialize=True, rng=np.random.default_rng(0),
         )
         timing = emb.forward(SyntheticDataGenerator(cfg).sparse_batch()).timing

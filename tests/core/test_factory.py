@@ -1,5 +1,5 @@
 """Backend factory: name parsing, FeatureSpec, build_backend over every
-registered backend, and the legacy-kwarg deprecation path."""
+registered backend, and the removal of the legacy per-feature kwargs."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ import warnings
 import pytest
 
 from repro.cache import CacheConfig
+from repro.comm.hier import HierSpec
 from repro.compress import CompressionSpec
 from repro.core.factory import (
     CANONICAL_FEATURE_ORDER,
@@ -40,6 +41,7 @@ FEATURE_CONFIGS = {
     "resilient": ("resilience", ResilienceSpec()),
     "replicated": ("replication", ReplicationSpec()),
     "reshard": ("reshard", ReshardSpec()),
+    "hier": ("hier", HierSpec(devices_per_node=2)),
 }
 
 
@@ -128,20 +130,22 @@ class TestBuildBackend:
         assert type(direct) is type(emb.backend_adapter())
 
 
-class TestDeprecatedKwargs:
-    def test_legacy_kwarg_warns_once_and_still_works(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            emb = DistributedEmbedding(
-                small_cfg(), 2, backend="pgas+cache", cache=CacheConfig()
+class TestRemovedLegacyKwargs:
+    """The per-feature kwargs finished their deprecation cycle in the
+    release before this one; they must now fail like any unknown kwarg."""
+
+    @pytest.mark.parametrize("kwarg,config", [
+        ("cache", CacheConfig()),
+        ("resilience", ResilienceSpec()),
+        ("compression", CompressionSpec()),
+        ("replication", ReplicationSpec()),
+        ("obs", None),
+    ])
+    def test_legacy_kwarg_rejected(self, kwarg, config):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            DistributedEmbedding(
+                small_cfg(), 2, backend="pgas", **{kwarg: config}
             )
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 1
-        assert "features=FeatureSpec" in str(deprecations[0].message)
-        assert isinstance(emb.features.cache, CacheConfig)
-        assert emb.backend_adapter() is not None
 
     def test_features_path_does_not_warn(self):
         with warnings.catch_warnings(record=True) as caught:
@@ -153,14 +157,6 @@ class TestDeprecatedKwargs:
         assert not [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
-
-    def test_mixing_features_and_legacy_kwargs_rejected(self):
-        with pytest.raises(ValueError, match="deprecated keyword"):
-            DistributedEmbedding(
-                small_cfg(), 2, backend="pgas+cache",
-                features=FeatureSpec(cache=CacheConfig()),
-                cache=CacheConfig(),
-            )
 
     def test_config_accessors_read_from_features(self):
         spec = FeatureSpec(reshard=ReshardSpec(), replication=ReplicationSpec())

@@ -15,6 +15,7 @@ from repro.faults import (
     ResilienceSpec,
     ResilientRetrieval,
 )
+from repro.core.factory import FeatureSpec
 from repro.core.retrieval import DistributedEmbedding
 from repro.core.sharding import TableWiseSharding, minibatch_bounds
 from repro.core.workload import build_device_workloads
@@ -42,7 +43,8 @@ def forward_pair(cfg, n_devices, backend_a, backend_b, plan_b=None, resilience=N
     )
     emb_b = DistributedEmbedding(
         cfg, n_devices, backend=backend_b, materialize=True,
-        rng=np.random.default_rng(0), resilience=resilience,
+        rng=np.random.default_rng(0),
+        features=FeatureSpec(resilience=resilience),
     )
     if plan_b is not None:
         FaultInjector(emb_b.cluster, plan_b).install()
@@ -170,7 +172,7 @@ class TestReroute:
         emb = DistributedEmbedding(
             cfg, 4, backend="pgas+resilient", materialize=True,
             rng=np.random.default_rng(0),
-            resilience=ResilienceSpec(reroute=False),
+            features=FeatureSpec(resilience=ResilienceSpec(reroute=False)),
         )
         FaultInjector(emb.cluster, self.plan_down).install()
         emb.forward(batch)
@@ -240,7 +242,8 @@ class TestFallbackCache:
         spec = ResilienceSpec(fallback_cache=CacheConfig(capacity_fraction=1.0))
         emb = DistributedEmbedding(
             cfg, 2, backend="pgas+resilient", materialize=True,
-            rng=np.random.default_rng(0), resilience=spec,
+            rng=np.random.default_rng(0),
+            features=FeatureSpec(resilience=spec),
         )
         adapter = emb.backend_adapter()
         adapter.warm_fallback([batch])  # every remote row now replicated
@@ -281,5 +284,6 @@ class TestFallbackCache:
             ResilienceSpec(fallback_cache="big")
         with pytest.raises(TypeError):
             DistributedEmbedding(
-                small_cfg(), 2, backend="pgas+resilient", resilience="nope"
+                small_cfg(), 2, backend="pgas+resilient",
+                features=FeatureSpec(resilience="nope"),
             ).backend_adapter()

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.cache import CacheConfig
 from repro.faults import FaultPlan, ResilienceSpec
+from repro.core.factory import FeatureSpec
 from repro.core.retrieval import DistributedEmbedding
 from repro.dlrm.data import WorkloadConfig
 
@@ -23,7 +24,7 @@ def fresh_adapter(spec=None):
     emb = DistributedEmbedding(
         small_cfg(), 2, backend="pgas+resilient",
         materialize=True, rng=np.random.default_rng(0),
-        resilience=spec,
+        features=FeatureSpec(resilience=spec),
     )
     return emb.backend_adapter("pgas+resilient")
 

@@ -1,0 +1,91 @@
+"""Degenerate geometries recover the flat path *event for event*.
+
+``devices_per_node == 1`` (all-singleton nodes) and single-node layouts
+carry no coalescible inter-node traffic, so the ``"+hier"`` backends must
+bypass routing entirely: identical wall time, identical profiler spans,
+identical counters — not merely identical outputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.hier import HierSpec
+from repro.core.factory import FeatureSpec
+from repro.core.retrieval import DistributedEmbedding
+from repro.dlrm.data import SyntheticDataGenerator, WorkloadConfig
+from repro.simgpu.cluster import multinode
+
+
+def cfg(**kw):
+    defaults = dict(
+        num_tables=6, rows_per_table=256, dim=16, batch_size=64,
+        max_pooling=4, seed=11,
+    )
+    defaults.update(kw)
+    return WorkloadConfig(**defaults)
+
+
+def timed_run(backend, workload, cluster_args, hier=None, batches=2):
+    features = FeatureSpec(hier=hier) if hier is not None else FeatureSpec()
+    emb = DistributedEmbedding(
+        workload, cluster_args[0] * cluster_args[1], backend=backend,
+        cluster=multinode(*cluster_args), features=features,
+    )
+    gen = SyntheticDataGenerator(workload)
+    total = 0.0
+    for _ in range(batches):
+        total += emb.forward_timed(gen.lengths_batch()).total_ns
+    return total, emb.cluster.profiler
+
+
+def profiler_fingerprint(prof):
+    spans = [
+        (s.name, s.category, s.device_id, s.t_start, s.t_end)
+        for s in prof.spans
+    ]
+    counters = {name: c.total for name, c in prof.counters.items()}
+    return spans, counters
+
+
+CASES = [
+    # (label, (n_nodes, devices_per_node), HierSpec dpn)
+    ("singleton-nodes", (4, 1), 1),
+    ("single-node", (1, 4), 4),
+]
+
+
+@pytest.mark.parametrize("base", ["pgas", "baseline"])
+@pytest.mark.parametrize("label,geometry,dpn", CASES)
+def test_degenerate_geometry_is_event_identical(base, label, geometry, dpn):
+    workload = cfg()
+    t_flat, prof_flat = timed_run(base, workload, geometry)
+    t_hier, prof_hier = timed_run(
+        f"{base}+hier", workload, geometry,
+        hier=HierSpec(devices_per_node=dpn),
+    )
+    assert t_hier == t_flat  # exact, not approx: the same events ran
+    flat_fp = profiler_fingerprint(prof_flat)
+    hier_fp = profiler_fingerprint(prof_hier)
+    assert hier_fp[0] == flat_fp[0]  # span-for-span identical
+    assert hier_fp[1] == flat_fp[1]  # counter-for-counter identical
+
+
+@pytest.mark.parametrize("base", ["pgas", "baseline"])
+def test_degenerate_run_emits_no_hier_telemetry(base):
+    workload = cfg()
+    _, prof = timed_run(
+        f"{base}+hier", workload, (1, 4), hier=HierSpec(devices_per_node=4)
+    )
+    assert not [n for n in prof.counters if n.startswith("hier.")]
+    assert not prof.spans_by_category("hier")
+
+
+@pytest.mark.parametrize("base", ["pgas", "baseline"])
+def test_unconfigured_hier_backend_is_flat(base):
+    """``"+hier"`` without a HierSpec defaults to dpn=1 — flat timing."""
+    workload = cfg()
+    t_flat, _ = timed_run(base, workload, (2, 2))
+    t_hier, prof = timed_run(f"{base}+hier", workload, (2, 2))
+    assert t_hier == t_flat
+    assert not prof.spans_by_category("hier")

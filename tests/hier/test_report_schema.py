@@ -1,0 +1,85 @@
+"""RunReport schema v6: the ``hier`` counter section and its validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.hier import HierSpec
+from repro.core.factory import FeatureSpec
+from repro.core.retrieval import DistributedEmbedding
+from repro.dlrm.data import SyntheticDataGenerator, WorkloadConfig
+from repro.simgpu.cluster import multinode
+from repro.telemetry.report import (
+    SCHEMA_VERSION,
+    ReportValidationError,
+    RunReport,
+    validate_report,
+)
+
+
+def hier_report():
+    workload = WorkloadConfig(
+        num_tables=6, rows_per_table=256, dim=16, batch_size=64,
+        max_pooling=4, seed=5,
+    )
+    emb = DistributedEmbedding(
+        workload, 4, backend="pgas+hier", cluster=multinode(2, 2),
+        features=FeatureSpec(hier=HierSpec(devices_per_node=2)),
+    )
+    emb.forward_timed(SyntheticDataGenerator(workload).lengths_batch())
+    return emb.telemetry_report(workload=workload)
+
+
+def test_schema_version_is_six():
+    assert SCHEMA_VERSION == 6
+
+
+def test_collect_fills_hier_section():
+    report = hier_report()
+    assert report.schema_version == 6
+    assert report.hier["hier.nic_bytes"] > 0
+    assert report.hier["hier.fwd_bytes"] > 0
+    assert report.hier["hier.nic_transfers"] > 0
+    # Only hier.* counters land here — no cross-contamination.
+    assert all(k.startswith("hier.") for k in report.hier)
+
+
+def test_round_trip_preserves_hier():
+    report = hier_report()
+    data = report.as_dict()
+    validate_report(data)
+    clone = RunReport.from_json(report.to_json())
+    assert clone.hier == report.hier
+
+
+def test_flat_backend_reports_empty_hier_section():
+    workload = WorkloadConfig(
+        num_tables=4, rows_per_table=128, dim=8, batch_size=32,
+        max_pooling=2,
+    )
+    emb = DistributedEmbedding(workload, 2, backend="pgas")
+    emb.forward_timed(SyntheticDataGenerator(workload).lengths_batch())
+    report = emb.telemetry_report(workload=workload)
+    assert report.hier == {}
+    validate_report(report.as_dict())
+
+
+def test_non_numeric_hier_value_rejected():
+    data = hier_report().as_dict()
+    data["hier"]["hier.nic_bytes"] = "lots"
+    with pytest.raises(ReportValidationError, match="must be a number"):
+        validate_report(data)
+
+
+def test_wrong_type_hier_section_rejected():
+    data = hier_report().as_dict()
+    data["hier"] = ["hier.nic_bytes"]
+    with pytest.raises(ReportValidationError):
+        validate_report(data)
+
+
+def test_missing_hier_section_tolerated_on_load():
+    """``hier`` is optional on read — pre-v6 payloads parse to empty."""
+    data = hier_report().as_dict()
+    del data["hier"]
+    assert RunReport.from_dict(data).hier == {}

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import DLRMInferencePipeline, PipelineConfig
+from repro.core.factory import FeatureSpec
 from repro.core.retrieval import DistributedEmbedding
 from repro.core.serving import InferenceServer, ServingSpec
 from repro.dlrm.data import SyntheticDataGenerator, WorkloadConfig
@@ -28,7 +29,8 @@ BACKENDS = ("pgas", "baseline", "pgas+compress", "baseline+cache",
 
 def _spans(obs, backend):
     cfg = WorkloadConfig(**WL)
-    emb = DistributedEmbedding(cfg, 2, backend=backend, obs=obs)
+    emb = DistributedEmbedding(cfg, 2, backend=backend,
+                               features=FeatureSpec(obs=obs))
     gen = SyntheticDataGenerator(cfg)
     from repro.core.retrieval import backend_spec
 

@@ -6,6 +6,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.factory import FeatureSpec
 from repro.core.retrieval import DistributedEmbedding, lengths_from_batch
 from repro.core.functional import reference_forward
 from repro.dlrm import EmbeddingBagCollection
@@ -34,7 +35,8 @@ FAST = dict(heartbeat_interval_ns=5 * us)
 def build(cfg, n_devices, backend, replication=None):
     emb = DistributedEmbedding(
         cfg, n_devices, backend=backend, materialize=True,
-        rng=np.random.default_rng(0), replication=replication,
+        rng=np.random.default_rng(0),
+        features=FeatureSpec(replication=replication),
     )
     return emb, emb.backend_adapter(backend)
 

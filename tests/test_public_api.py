@@ -13,6 +13,7 @@ PACKAGES = [
     "repro",
     "repro.core",
     "repro.cache",
+    "repro.hier",
     "repro.reshard",
     "repro.simgpu",
     "repro.comm",
@@ -87,17 +88,18 @@ class TestReshardSurface:
             parse_backend_name,
         )
 
-        assert len(CANONICAL_FEATURE_ORDER) == 5
+        assert len(CANONICAL_FEATURE_ORDER) == 6
 
     def test_distributed_embedding_takes_features(self):
         from repro.core import DistributedEmbedding
 
         sig = inspect.signature(DistributedEmbedding.__init__)
         assert "features" in sig.parameters
-        # The deprecated per-feature kwargs stay for one release.
+        # The deprecated per-feature kwargs completed their one-release
+        # deprecation cycle and are gone; ``features=`` is the only path.
         for legacy in ("cache", "resilience", "compression",
                        "replication", "obs"):
-            assert legacy in sig.parameters
+            assert legacy not in sig.parameters
 
     def test_top_level_reexports(self):
         for name in ("FeatureSpec", "build_backend", "ReshardRetrieval",
